@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every figure/table of the paper's evaluation has one benchmark module
+that regenerates it and prints the series.  Scale is controlled by
+environment variables so the full paper-scale grid (20 groups per
+point, 320 groups per application) can be requested without editing
+code:
+
+    REPRO_BENCH_GROUPS=20 pytest benchmarks/ --benchmark-only -s
+
+The default (5 groups per point) reproduces the figures' shape in a
+few minutes.  Regenerated tables are also written to
+``benchmarks/out/`` for inspection.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+#: Groups per (strategy, error-rate) point; the paper uses 20.
+BENCH_GROUPS = int(os.environ.get("REPRO_BENCH_GROUPS", "5"))
+
+#: Where regenerated tables are written.
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a regenerated table and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def bench_groups() -> int:
+    return BENCH_GROUPS

@@ -1,0 +1,47 @@
+"""Figure 9: resolution comparison for the Call Forwarding application.
+
+Regenerates both panels (context use rate, situation activation rate)
+for OPT-R / D-BAD / D-LAT / D-ALL at error rates 10-40%, normalized
+against OPT-R -- the paper's headline experiment.
+
+Expected shape (Section 4.2): OPT-R = 100%; D-BAD clearly best among
+practical strategies; D-LAT and D-ALL reduced by roughly 20-40%;
+D-ALL worst.
+"""
+
+from conftest import write_report
+
+from repro.apps.call_forwarding import CallForwardingApp
+from repro.experiments.harness import ComparisonConfig, run_comparison
+from repro.experiments.report import format_comparison
+
+
+def _run(groups: int):
+    config = ComparisonConfig(
+        groups_per_point=groups,
+        use_window=10,
+        workload_kwargs=(("duration", 300.0),),
+    )
+    return run_comparison(CallForwardingApp(), config)
+
+
+def test_fig9_call_forwarding(benchmark, bench_groups):
+    result = benchmark.pedantic(
+        _run, args=(bench_groups,), rounds=1, iterations=1
+    )
+    write_report(
+        "fig9_call_forwarding",
+        format_comparison(
+            result,
+            f"Figure 9 -- Call Forwarding ({bench_groups} groups/point, "
+            f"paper: 20)",
+        ),
+    )
+    # The paper's ordering must hold at every error rate for ctxUseRate.
+    for err_rate in result.config.err_rates:
+        bad = result.point("drop-bad", err_rate)
+        latest = result.point("drop-latest", err_rate)
+        all_ = result.point("drop-all", err_rate)
+        assert bad.ctx_use_rate > all_.ctx_use_rate
+        assert latest.ctx_use_rate > all_.ctx_use_rate
+        assert bad.ctx_use_rate <= 100.0 + 1e-9

@@ -1,0 +1,80 @@
+"""Figures 1-5: the scenario walkthroughs.
+
+Regenerates the tracked inconsistency sets and count values of both
+scenarios under the basic and refined constraints (Figures 1, 4, 5),
+and the per-strategy resolution outcomes of Figures 2 and 3, asserting
+the paper's narrative: drop-latest fails scenario B, drop-all loses
+correct contexts in both, drop-bad discards exactly d3 everywhere.
+"""
+
+from conftest import write_report
+
+from repro.experiments.report import format_scenarios, format_table
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    count_values,
+    replay_strategy,
+    tracked_inconsistencies,
+)
+
+STRATEGIES = ("opt-r", "drop-bad", "drop-latest", "drop-all")
+
+
+def _run():
+    counts = {
+        (scenario, refined): count_values(scenario, refined)
+        for scenario in SCENARIOS
+        for refined in (False, True)
+    }
+    outcomes = [
+        replay_strategy(strategy, scenario, refined=refined)
+        for strategy in STRATEGIES
+        for scenario in SCENARIOS
+        for refined in (False, True)
+    ]
+    return counts, outcomes
+
+
+def test_scenario_walkthroughs(benchmark):
+    counts, outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    count_rows = [
+        [
+            scenario,
+            "refined" if refined else "basic",
+            *[values[f"d{i}"] for i in range(1, 6)],
+        ]
+        for (scenario, refined), values in sorted(counts.items())
+    ]
+    write_report(
+        "fig1_5_scenarios",
+        "Figures 1-5 -- count values per scenario\n"
+        + format_table(
+            ["scenario", "constraints", "d1", "d2", "d3", "d4", "d5"],
+            count_rows,
+        )
+        + "\n\nResolution outcomes (Figures 2-3 + Section 3):\n"
+        + format_scenarios(outcomes),
+    )
+
+    # Figure 4/5 count values.
+    assert counts[("A", False)] == {"d1": 0, "d2": 1, "d3": 2, "d4": 1, "d5": 0}
+    assert counts[("A", True)] == {"d1": 1, "d2": 1, "d3": 4, "d4": 1, "d5": 1}
+    assert counts[("B", True)] == {"d1": 0, "d2": 0, "d3": 2, "d4": 1, "d5": 1}
+
+    # Figure 1's Δ.
+    assert tracked_inconsistencies("A", False) == {
+        frozenset({"d2", "d3"}),
+        frozenset({"d3", "d4"}),
+    }
+
+    # The narrative: drop-bad and OPT-R always correct, drop-latest
+    # wrong on scenario B, drop-all never correct.
+    by_key = {(o.strategy, o.scenario, o.refined): o for o in outcomes}
+    for scenario in SCENARIOS:
+        for refined in (False, True):
+            assert by_key[("drop-bad", scenario, refined)].correct
+            assert by_key[("opt-r", scenario, refined)].correct
+            assert not by_key[("drop-all", scenario, refined)].correct
+    assert not by_key[("drop-latest", "B", False)].correct
+    assert by_key[("drop-latest", "A", False)].correct

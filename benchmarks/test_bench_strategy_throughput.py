@@ -1,0 +1,36 @@
+"""Performance benchmark: middleware throughput per strategy.
+
+Measures contexts processed per second through the full pipeline
+(detection + resolution + situation evaluation) for each strategy --
+the practical overhead of hosting the resolution plug-in, mirroring
+the paper's note that resolution runs as a middleware service on
+commodity hardware.
+"""
+
+import pytest
+
+from repro.apps.call_forwarding import CallForwardingApp
+from repro.core.strategy import make_strategy
+from repro.experiments.harness import run_group
+
+APP = CallForwardingApp()
+STREAM = APP.generate_workload(0.3, seed=88, duration=200.0)
+
+
+@pytest.mark.parametrize(
+    "strategy_name",
+    ["opt-r", "drop-latest", "drop-all", "drop-bad"],
+)
+def test_pipeline_throughput(benchmark, strategy_name):
+    def run():
+        return run_group(
+            APP,
+            make_strategy(strategy_name),
+            STREAM,
+            err_rate=0.3,
+            seed=88,
+            use_window=10,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.contexts_total == len(STREAM)

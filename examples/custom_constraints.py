@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Extending the library: your own contexts, predicates and constraints.
+
+Shows the full extension surface a downstream user touches:
+
+1. define a new context type (meeting-room booking records);
+2. register custom predicates against the standard registry;
+3. write constraints in the DSL relating bookings to badge sightings;
+4. plug a user-specified resolution policy into the middleware.
+
+Run:
+    python examples/custom_constraints.py
+"""
+
+from repro import (
+    ConstraintChecker,
+    Middleware,
+    UserSpecifiedStrategy,
+    parse_constraint,
+    standard_registry,
+)
+from repro.core.context import ContextFactory
+from repro.core.user_specified import source_trust_policy
+
+# -- 1. contexts: bookings say who SHOULD be in the meeting room -----------
+factory = ContextFactory()
+booking = factory.make(
+    "booking",
+    "peter",
+    {"room": "meeting", "from": 10.0, "until": 40.0},
+    timestamp=0.0,
+    source="calendar",
+)
+
+# Badge sightings say where Peter actually is.  The calendar is
+# trustworthy; the old corridor sensor is flaky.
+sightings = [
+    factory.make("badge", "peter", "meeting", 12.0, source="room-sensor"),
+    factory.make(
+        "badge", "peter", "corridor", 14.0, source="flaky-sensor",
+        corrupted=True,
+    ),
+    factory.make("badge", "peter", "meeting", 16.0, source="room-sensor"),
+]
+
+# -- 2. custom predicates ---------------------------------------------------
+registry = standard_registry()
+
+
+@registry.register("booked_room")
+def booked_room(booking_ctx, badge_ctx):
+    """The badge sighting matches the booked room."""
+    return badge_ctx.value == booking_ctx.value["room"]
+
+
+@registry.register("during_booking")
+def during_booking(booking_ctx, badge_ctx):
+    window = booking_ctx.value
+    return window["from"] <= badge_ctx.timestamp <= window["until"]
+
+
+# -- 3. a cross-type consistency constraint in the DSL ----------------------
+ATTENDANCE = parse_constraint(
+    "booked-attendance",
+    "forall bk in booking, forall b in badge : "
+    "(same_subject(bk, b) and during_booking(bk, b)) "
+    "implies booked_room(bk, b)",
+    description="During a booking, sightings must match the booked room.",
+)
+
+# -- 4. resolve with a user-specified source-trust policy --------------------
+
+
+def main() -> None:
+    print(__doc__)
+    strategy = UserSpecifiedStrategy(
+        preference=source_trust_policy(
+            {"calendar": 1.0, "room-sensor": 0.8, "flaky-sensor": 0.1}
+        )
+    )
+    middleware = Middleware(
+        ConstraintChecker([ATTENDANCE], registry=registry),
+        strategy,
+        use_window=2,
+    )
+    middleware.receive_all([booking] + sightings)
+
+    log = middleware.resolution.log
+    print("detected inconsistencies:")
+    for inconsistency in log.detected:
+        ids = ", ".join(sorted(c.ctx_id for c in inconsistency.contexts))
+        print(f"  {{{ids}}} violates {inconsistency.constraint}")
+    print()
+    print("discarded by the source-trust policy:")
+    for ctx in log.discarded:
+        print(f"  {ctx.ctx_id} from {ctx.source!r} "
+              f"({'corrupted' if ctx.corrupted else 'expected'})")
+    print()
+    print(f"delivered {len(log.delivered)} contexts; "
+          f"removal precision {log.removal_precision():.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Landmarc location tracking + drop-bad cleaning (Section 5.2).
+
+Simulates the paper's case study: a walker is tracked by the LANDMARC
+indoor localization algorithm over a reference-tag grid; multipath
+occasionally garbles a measurement.  Drop-bad resolution filters the
+estimate stream, improving tracking accuracy, and the heuristic-rule
+monitor reports how often Rules 1 / 2 / 2' held in practice.
+
+Run:
+    python examples/landmarc_tracking.py [seed]
+"""
+
+import sys
+
+from repro import format_case_study, run_case_study
+from repro.experiments.case_study import CaseStudyConfig
+from repro.sensing.landmarc import (
+    LandmarcEstimator,
+    corner_readers,
+    grid_reference_tags,
+)
+from repro.sensing.rf import PathLossModel
+
+
+def show_estimator_basics() -> None:
+    """A tiny standalone LANDMARC demonstration."""
+    estimator = LandmarcEstimator(
+        corner_readers(0.0, 0.0, 20.0, 20.0),
+        grid_reference_tags(0.0, 0.0, 20.0, 20.0, spacing=4.0),
+        PathLossModel(shadow_sigma=0.0),
+        k=4,
+    )
+    print("LANDMARC sanity check (noiseless RF):")
+    for true_position in [(5.0, 5.0), (12.0, 7.0), (17.0, 16.0)]:
+        estimate = estimator.estimate(true_position)
+        print(
+            f"  tag at {true_position} -> estimated "
+            f"({estimate[0]:5.2f}, {estimate[1]:5.2f}), "
+            f"error {estimator.error(true_position):4.2f} m"
+        )
+    print()
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    print(__doc__)
+    show_estimator_basics()
+
+    config = CaseStudyConfig()
+    result = run_case_study(seed=seed, config=config)
+    print(f"case study over {result.contexts_total} tracked positions "
+          f"({result.contexts_corrupted} corrupted by multipath):\n")
+    print(format_case_study(result))
+    print()
+    print(
+        f"cleaning reduced mean tracking error by "
+        f"{result.accuracy_improvement:.0%} "
+        f"({result.mean_error_raw:.2f} m -> "
+        f"{result.mean_error_delivered:.2f} m)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""RFID data anomalies demo: cleaning a dirty warehouse read stream.
+
+Tagged items flow dock -> staging -> shelves -> checkout while zone
+readers produce cross reads, ghost reads and duplicates at a
+controlled error rate.  The demo contrasts the raw stream with what
+each resolution strategy delivers to the inventory application, and
+shows the per-item zone trails after cleaning.
+
+Run:
+    python examples/rfid_warehouse_demo.py [err_rate] [items]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro import Middleware, RFIDAnomaliesApp, SituationEngine, make_strategy
+
+
+def trail(contexts):
+    """Compress a read sequence into a deduplicated zone trail."""
+    zones = []
+    for ctx in sorted(contexts, key=lambda c: c.timestamp):
+        if not zones or zones[-1] != ctx.value:
+            zones.append(str(ctx.value))
+    return " > ".join(zones)
+
+
+def main() -> None:
+    err_rate = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    items = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    app = RFIDAnomaliesApp()
+    contexts = app.generate_workload(err_rate, seed=7, items=items)
+    print(__doc__)
+    print(
+        f"workload: {len(contexts)} reads over {items} items, "
+        f"{sum(c.corrupted for c in contexts)} corrupted\n"
+    )
+
+    print("strategy comparison:")
+    for name in ("opt-r", "drop-bad", "drop-latest", "drop-all"):
+        middleware = Middleware(
+            app.build_checker(), make_strategy(name), use_window=20
+        )
+        engine = SituationEngine(app.build_situations())
+        middleware.plug_in(engine)
+        middleware.receive_all(contexts)
+        log = middleware.resolution.log
+        good = sum(1 for c in log.delivered if not c.corrupted)
+        bad = len(log.delivered) - good
+        print(
+            f"  {name:>12}: delivered {good:3d} clean + {bad:3d} dirty reads, "
+            f"discarded {len(log.discarded):3d} "
+            f"(precision {log.removal_precision():.0%}), "
+            f"checkouts seen {engine.activations.get('rf-checked-out', 0)}"
+        )
+    print()
+
+    # Show item trails under drop-bad vs the raw stream.
+    middleware = Middleware(
+        app.build_checker(), make_strategy("drop-bad"), use_window=20
+    )
+    middleware.receive_all(contexts)
+    delivered = defaultdict(list)
+    for ctx in middleware.resolution.log.delivered:
+        delivered[ctx.subject].append(ctx)
+    raw = defaultdict(list)
+    for ctx in contexts:
+        raw[ctx.subject].append(ctx)
+
+    print("item trails (raw stream vs after drop-bad cleaning):")
+    for tag in sorted(raw)[:4]:
+        print(f"  {tag}")
+        print(f"    raw    : {trail(raw[tag])}")
+        print(f"    cleaned: {trail(delivered[tag])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Empirical analysis: heuristic-rule measurement and discard confusion."""
+
+from .confusion import DiscardConfusion, confusion_from_log, format_confusion
+from .rules import (
+    InstrumentedDropBad,
+    RuleObservation,
+    RuleReport,
+    rule1_holds,
+    rule2_holds,
+    rule2_relaxed_holds,
+)
+
+__all__ = [
+    "DiscardConfusion",
+    "confusion_from_log",
+    "format_confusion",
+    "InstrumentedDropBad",
+    "RuleObservation",
+    "RuleReport",
+    "rule1_holds",
+    "rule2_holds",
+    "rule2_relaxed_holds",
+]

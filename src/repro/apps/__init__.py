@@ -1,0 +1,14 @@
+"""The evaluated applications: Call Forwarding and RFID anomalies (the
+paper's two), plus the smart-phone motivating example."""
+
+from .call_forwarding import CallForwardingApp, ForwardingController
+from .rfid_anomalies import RFIDAnomaliesApp
+from .smart_phone import RingerController, SmartPhoneApp
+
+__all__ = [
+    "CallForwardingApp",
+    "ForwardingController",
+    "RFIDAnomaliesApp",
+    "RingerController",
+    "SmartPhoneApp",
+]

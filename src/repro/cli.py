@@ -1,0 +1,215 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro scenarios
+    python -m repro compare call-forwarding --groups 5
+    python -m repro compare rfid --groups 5 --window 20
+    python -m repro case-study --seed 7
+    python -m repro ablation window
+    python -m repro ablation tiebreak
+    python -m repro trace record rfid --out stream.jsonl --err 0.3
+    python -m repro trace replay stream.jsonl --strategy drop-bad
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .apps.call_forwarding import CallForwardingApp
+from .apps.rfid_anomalies import RFIDAnomaliesApp
+from .apps.smart_phone import SmartPhoneApp
+from .core.strategy import make_strategy, strategy_names
+from .experiments.ablations import run_tiebreak_ablation, run_window_ablation
+from .experiments.case_study import run_case_study
+from .experiments.harness import ComparisonConfig, run_comparison, run_group
+from .experiments.report import (
+    format_case_study,
+    format_comparison,
+    format_scenarios,
+    format_tiebreak_ablation,
+    format_window_ablation,
+)
+from .experiments.scenarios import SCENARIOS, replay_strategy
+from .middleware.trace import read_trace, write_trace
+
+__all__ = ["main", "build_parser"]
+
+_APPS = {
+    "call-forwarding": (CallForwardingApp, {"use_window": 10, "kwargs": {}}),
+    "rfid": (RFIDAnomaliesApp, {"use_window": 20, "kwargs": {}}),
+    "smart-phone": (SmartPhoneApp, {"use_window": 8, "kwargs": {}}),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICDCS 2008 context-inconsistency-resolution reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "scenarios", help="replay the Figure 1-5 walkthroughs"
+    )
+
+    compare = commands.add_parser(
+        "compare", help="run a Figure 9/10 style strategy comparison"
+    )
+    compare.add_argument("app", choices=sorted(_APPS))
+    compare.add_argument("--groups", type=int, default=5)
+    compare.add_argument("--window", type=int, default=None)
+    compare.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.2, 0.3, 0.4],
+    )
+
+    case_study = commands.add_parser(
+        "case-study", help="run the Section 5.2 Landmarc case study"
+    )
+    case_study.add_argument("--seed", type=int, default=7)
+
+    ablation = commands.add_parser(
+        "ablation", help="run a design-choice ablation"
+    )
+    ablation.add_argument("which", choices=["window", "tiebreak"])
+    ablation.add_argument("--groups", type=int, default=4)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="run the whole paper and write a report"
+    )
+    reproduce.add_argument("--groups", type=int, default=5)
+    reproduce.add_argument("--out", default="REPRODUCTION_REPORT.md")
+
+    trace = commands.add_parser("trace", help="record or replay a stream")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_sub.add_parser("record", help="write a workload to JSONL")
+    record.add_argument("app", choices=sorted(_APPS))
+    record.add_argument("--out", required=True)
+    record.add_argument("--err", type=float, default=0.3)
+    record.add_argument("--seed", type=int, default=1)
+    replay = trace_sub.add_parser("replay", help="replay a JSONL trace")
+    replay.add_argument("path")
+    replay.add_argument(
+        "--strategy", default="drop-bad", choices=strategy_names()
+    )
+    replay.add_argument("--window", type=int, default=10)
+
+    return parser
+
+
+def _cmd_scenarios(out) -> int:
+    outcomes = [
+        replay_strategy(strategy, scenario, refined=refined)
+        for strategy in ("opt-r", "drop-bad", "drop-latest", "drop-all")
+        for scenario in SCENARIOS
+        for refined in (False, True)
+    ]
+    print(format_scenarios(outcomes), file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    app_cls, defaults = _APPS[args.app]
+    config = ComparisonConfig(
+        err_rates=tuple(args.rates),
+        groups_per_point=args.groups,
+        use_window=args.window
+        if args.window is not None
+        else defaults["use_window"],
+    )
+    result = run_comparison(app_cls(), config)
+    print(
+        format_comparison(result, f"Strategy comparison -- {args.app}"),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_case_study(args, out) -> int:
+    result = run_case_study(seed=args.seed)
+    print(format_case_study(result), file=out)
+    return 0
+
+
+def _cmd_ablation(args, out) -> int:
+    if args.which == "window":
+        points = run_window_ablation(
+            RFIDAnomaliesApp(), groups=args.groups, workload_kwargs={"items": 8}
+        )
+        print(format_window_ablation(points), file=out)
+    else:
+        points = run_tiebreak_ablation(
+            CallForwardingApp(),
+            groups=args.groups,
+            workload_kwargs={"duration": 240.0},
+        )
+        print(format_tiebreak_ablation(points), file=out)
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    if args.trace_command == "record":
+        app_cls, _ = _APPS[args.app]
+        contexts = app_cls().generate_workload(args.err, seed=args.seed)
+        count = write_trace(contexts, args.out)
+        print(f"wrote {count} contexts to {args.out}", file=out)
+        return 0
+    contexts = read_trace(args.path)
+    types = {c.ctx_type for c in contexts}
+    if "rfid_read" in types:
+        app = RFIDAnomaliesApp()
+    elif "venue" in types:
+        app = SmartPhoneApp()
+    else:
+        app = CallForwardingApp()
+    metrics = run_group(
+        app,
+        make_strategy(args.strategy),
+        contexts,
+        err_rate=0.0,
+        seed=0,
+        use_window=args.window,
+    )
+    print(
+        f"replayed {metrics.contexts_total} contexts under "
+        f"{args.strategy}:\n"
+        f"  delivered {metrics.contexts_used} "
+        f"({metrics.contexts_used_expected} expected), "
+        f"discarded {metrics.contexts_discarded} "
+        f"(precision {metrics.removal_precision:.1%}, "
+        f"survival {metrics.survival_rate:.1%})",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "scenarios":
+        return _cmd_scenarios(out)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    if args.command == "case-study":
+        return _cmd_case_study(args, out)
+    if args.command == "ablation":
+        return _cmd_ablation(args, out)
+    if args.command == "reproduce":
+        from .experiments.reproduce import reproduce_paper
+
+        reproduce_paper(
+            groups=args.groups,
+            out_path=args.out,
+            progress=lambda message: print(message, file=out),
+        )
+        print(f"report written to {args.out}", file=out)
+        return 0
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

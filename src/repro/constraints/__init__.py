@@ -1,0 +1,59 @@
+"""Consistency-constraint language, evaluation and incremental checking."""
+
+from .ast import (
+    And,
+    Constraint,
+    Existential,
+    Formula,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Universal,
+    Var,
+    exists,
+    forall,
+    pred,
+)
+from .builtins import FunctionRegistry, standard_registry
+from .checker import ConstraintChecker
+from .evaluator import EvalResult, Evaluator
+from .format import format_constraint, format_formula, format_term
+from .incremental import IncrementalEngine, PrefixAnalysis, analyze_prefix
+from .links import EMPTY_LINK, Link, cross_join
+from .parser import ParseError, parse_constraint, parse_formula
+
+__all__ = [
+    "And",
+    "Constraint",
+    "Existential",
+    "Formula",
+    "Implies",
+    "Literal",
+    "Not",
+    "Or",
+    "Predicate",
+    "Universal",
+    "Var",
+    "exists",
+    "forall",
+    "pred",
+    "FunctionRegistry",
+    "standard_registry",
+    "ConstraintChecker",
+    "EvalResult",
+    "Evaluator",
+    "format_constraint",
+    "format_formula",
+    "format_term",
+    "IncrementalEngine",
+    "PrefixAnalysis",
+    "analyze_prefix",
+    "EMPTY_LINK",
+    "Link",
+    "cross_join",
+    "ParseError",
+    "parse_constraint",
+    "parse_formula",
+]

@@ -1,0 +1,80 @@
+"""Core model: contexts, inconsistencies, and resolution strategies.
+
+Importing this package registers all built-in strategies with the
+strategy registry, so ``make_strategy("drop-bad")`` works after
+``import repro.core``.
+"""
+
+from .context import INFINITE_LIFESPAN, Context, ContextFactory, ContextState
+from .drop_all import DropAllStrategy
+from .drop_bad import DropBadStrategy
+from .drop_latest import DropLatestStrategy
+from .drop_random import DropRandomStrategy
+from .impact_aware import (
+    ImpactAwareDropBad,
+    ImpactModel,
+    situation_relevance_model,
+)
+from .inconsistency import Inconsistency, TrackedInconsistencies
+from .lifecycle import ContextRecord, LifecycleError, LifecycleTracker
+from .oracle import OptimalStrategy
+from .resolver import InconsistencyDetector, ResolutionLog, ResolutionService
+from .strategy import (
+    AddOutcome,
+    ImmediateStrategy,
+    ResolutionStrategy,
+    UseOutcome,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+from .tiebreak import (
+    LeastGlobalCount,
+    MostGlobalCount,
+    NewestFirst,
+    OldestFirst,
+    RandomChoice,
+    TieBreakPolicy,
+    make_tiebreak,
+)
+from .user_specified import UserSpecifiedStrategy, freshness_policy, source_trust_policy
+
+__all__ = [
+    "INFINITE_LIFESPAN",
+    "Context",
+    "ContextFactory",
+    "ContextState",
+    "Inconsistency",
+    "TrackedInconsistencies",
+    "ContextRecord",
+    "LifecycleError",
+    "LifecycleTracker",
+    "AddOutcome",
+    "UseOutcome",
+    "ResolutionStrategy",
+    "ImmediateStrategy",
+    "make_strategy",
+    "register_strategy",
+    "strategy_names",
+    "DropLatestStrategy",
+    "DropAllStrategy",
+    "DropRandomStrategy",
+    "UserSpecifiedStrategy",
+    "DropBadStrategy",
+    "ImpactAwareDropBad",
+    "ImpactModel",
+    "situation_relevance_model",
+    "OptimalStrategy",
+    "InconsistencyDetector",
+    "ResolutionLog",
+    "ResolutionService",
+    "TieBreakPolicy",
+    "OldestFirst",
+    "NewestFirst",
+    "RandomChoice",
+    "LeastGlobalCount",
+    "MostGlobalCount",
+    "make_tiebreak",
+    "freshness_policy",
+    "source_trust_policy",
+]

@@ -1,0 +1,37 @@
+"""The drop-all resolution strategy (D-ALL, Section 2.3).
+
+Following Bu et al. [1], *all* contexts leading to an inconsistency are
+discarded, on the over-cautious assumption that every involved context
+is incorrect.  The paper's experiments show this is the worst
+performer: correct contexts are lost wholesale and applications miss
+key context-aware actions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .context import Context
+from .inconsistency import Inconsistency
+from .strategy import ImmediateStrategy, register_strategy
+
+__all__ = ["DropAllStrategy"]
+
+
+@register_strategy("drop-all")
+class DropAllStrategy(ImmediateStrategy):
+    """Discard every context involved in a detected inconsistency.
+
+    Note that this revokes contexts that were already admitted as
+    consistent (Scenario A discards d2 alongside d3), which is why the
+    life-cycle machine allows the ``consistent -> inconsistent`` edge
+    for baselines.
+    """
+
+    name = "drop-all"
+
+    def choose_victims(
+        self, ctx: Context, inconsistency: Inconsistency
+    ) -> Iterable[Context]:
+        """All involved contexts, in deterministic id order."""
+        return sorted(inconsistency.contexts, key=lambda c: c.ctx_id)

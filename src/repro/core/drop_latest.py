@@ -1,0 +1,39 @@
+"""The drop-latest resolution strategy (D-LAT, Section 2.2).
+
+Following Chomicki et al. [4], the latest context leading to an
+inconsistency is discarded immediately.  The strategy assumes the
+collection of existing contexts is consistent and admits a new context
+only if it causes no inconsistency.
+
+The paper's Scenario B shows its failure mode: a context (d3) that
+slips in without conflicting with its predecessors causes the *next*,
+actually correct context (d4) to be blamed and discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .context import Context
+from .inconsistency import Inconsistency
+from .strategy import ImmediateStrategy, register_strategy
+
+__all__ = ["DropLatestStrategy"]
+
+
+@register_strategy("drop-latest")
+class DropLatestStrategy(ImmediateStrategy):
+    """Discard the latest context of each detected inconsistency."""
+
+    name = "drop-latest"
+
+    def choose_victims(
+        self, ctx: Context, inconsistency: Inconsistency
+    ) -> Iterable[Context]:
+        """The single most recently produced involved context.
+
+        In the common streaming case this is the newly added context
+        itself, but when a constraint relates older buffered contexts
+        the timestamp decides (deterministically; ties broken by id).
+        """
+        return (inconsistency.latest_context(),)

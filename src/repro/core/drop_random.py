@@ -1,0 +1,51 @@
+"""The drop-random resolution strategy (Section 2.3, discussed).
+
+Following the random-action variant of Chomicki et al. [4], one
+involved context is discarded uniformly at random per inconsistency.
+The paper notes its results are unreliable ("depending on random
+choices"); it is included for completeness and for the experiment
+harness's extended comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from .context import Context
+from .inconsistency import Inconsistency
+from .strategy import ImmediateStrategy, register_strategy
+
+__all__ = ["DropRandomStrategy"]
+
+
+@register_strategy("drop-random")
+class DropRandomStrategy(ImmediateStrategy):
+    """Discard one uniformly random context per inconsistency.
+
+    Parameters
+    ----------
+    rng:
+        Random generator; pass a seeded ``random.Random`` for
+        reproducible runs.  Defaults to a fixed seed so unit tests are
+        deterministic.
+    """
+
+    name = "drop-random"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        super().__init__()
+        self._rng = rng or random.Random(0)
+        self._initial_rng_state = self._rng.getstate()
+
+    def reset(self) -> None:
+        """Also rewind the random generator, so a reused instance
+        replays streams identically to a fresh one."""
+        super().reset()
+        self._rng.setstate(self._initial_rng_state)
+
+    def choose_victims(
+        self, ctx: Context, inconsistency: Inconsistency
+    ) -> Iterable[Context]:
+        ordered = sorted(inconsistency.contexts, key=lambda c: c.ctx_id)
+        return (self._rng.choice(ordered),)

@@ -1,0 +1,128 @@
+"""Impact-oriented drop-bad resolution (the paper's future work).
+
+Section 5.1 and the conclusion propose enhancing drop-bad "with the
+effort of estimating the impact of a certain resolution strategy on
+applications and adjusting its resolution action accordingly" (see
+also the authors' preliminary impact-oriented resolution work [20]).
+
+:class:`ImpactAwareDropBad` implements that enhancement on top of the
+base strategy.  An :class:`ImpactModel` scores how much an application
+would lose if a given context were discarded; the strategy consults it
+at exactly the two points where plain drop-bad acts on insufficient
+evidence:
+
+* **tie discards** -- when the used context merely *ties* at the
+  maximal count value, it is discarded only if its impact does not
+  exceed ``tie_impact_budget`` (cheap contexts are still cleaned
+  eagerly; expensive ones get the benefit of the doubt);
+* **culprit choice** -- among tied maximal-count culprits, the one
+  with the *least* impact is marked bad.
+
+With a zero-impact model the strategy degenerates to plain drop-bad
+(a unit test asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .context import Context
+from .drop_bad import DropBadStrategy
+from .inconsistency import Inconsistency, TrackedInconsistencies
+from .strategy import register_strategy
+from .tiebreak import OldestFirst, TieBreakPolicy
+
+__all__ = [
+    "ImpactModel",
+    "situation_relevance_model",
+    "ImpactAwareDropBad",
+]
+
+#: Maps a context to the estimated application impact of losing it
+#: (>= 0; larger = more valuable to applications).
+ImpactModel = Callable[[Context], float]
+
+
+def situation_relevance_model(
+    relevant: Callable[[Context], bool], weight: float = 1.0
+) -> ImpactModel:
+    """An impact model from a situation-relevance predicate.
+
+    Contexts that can trigger application situations score ``weight``;
+    others score 0.  Applications typically build ``relevant`` from
+    their situation definitions, e.g. "badge contexts naming the
+    office or meeting room".
+    """
+
+    def impact(ctx: Context) -> float:
+        return weight if relevant(ctx) else 0.0
+
+    return impact
+
+
+class _ImpactTieBreak(TieBreakPolicy):
+    """Choose the tied culprit whose loss hurts applications least."""
+
+    name = "impact"
+
+    def __init__(self, impact: ImpactModel, fallback: TieBreakPolicy) -> None:
+        self._impact = impact
+        self._fallback = fallback
+
+    def choose(
+        self, candidates: Sequence[Context], delta: TrackedInconsistencies
+    ) -> Context:
+        self._require(candidates)
+        scores = {c.ctx_id: self._impact(c) for c in candidates}
+        best = min(scores.values())
+        cheapest = [c for c in candidates if scores[c.ctx_id] == best]
+        if len(cheapest) == 1:
+            return cheapest[0]
+        return self._fallback.choose(cheapest, delta)
+
+
+@register_strategy("drop-bad-impact")
+class ImpactAwareDropBad(DropBadStrategy):
+    """Drop-bad with impact-adjusted tie handling.
+
+    Parameters
+    ----------
+    impact:
+        The impact model; defaults to the zero model (plain drop-bad).
+    tie_impact_budget:
+        A tied used context is discarded only if its impact is <= this
+        budget.  The default of 0.0 means "discard on tie only when
+        the context is worthless to applications".
+    tiebreak:
+        Fallback ordering among equally cheap culprits.
+    """
+
+    name = "drop-bad-impact"
+
+    def __init__(
+        self,
+        impact: Optional[ImpactModel] = None,
+        tie_impact_budget: float = 0.0,
+        tiebreak: Optional[TieBreakPolicy] = None,
+    ) -> None:
+        self._impact = impact or (lambda ctx: 0.0)
+        super().__init__(
+            tiebreak=_ImpactTieBreak(self._impact, tiebreak or OldestFirst()),
+            discard_on_tie=True,
+        )
+        self._tie_impact_budget = tie_impact_budget
+
+    def _should_discard(
+        self, ctx: Context, involved: Sequence[Inconsistency]
+    ) -> bool:
+        """Figure 7's test, with impact-gated tie discards."""
+        for inconsistency in involved:
+            maxima = self.delta.max_count_contexts(inconsistency)
+            if ctx not in maxima:
+                continue
+            if len(maxima) == 1:
+                # Strict maximum: the count evidence alone convicts.
+                return True
+            if self._impact(ctx) <= self._tie_impact_budget:
+                return True
+        return False

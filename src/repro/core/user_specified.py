@@ -1,0 +1,79 @@
+"""The user-specified resolution strategy (Section 2.3, discussed).
+
+Following Ranganathan et al. [13] and Insuk et al. [7], inconsistency
+resolution follows user preferences or policies: the user ranks
+contexts (by source trust, by type priority, by subject, ...) and the
+lowest-ranked involved context is discarded.
+
+The paper points out that such policies make resolution results
+"unreliable (depending on ... user policies)" and that human
+participation is too slow for dynamic environments; automated
+preference functions stand in for the human here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from .context import Context
+from .inconsistency import Inconsistency
+from .strategy import ImmediateStrategy, register_strategy
+
+__all__ = ["UserSpecifiedStrategy", "source_trust_policy", "freshness_policy"]
+
+#: A preference function: larger value = the user prefers to KEEP the
+#: context; the involved context with the smallest preference is
+#: discarded.
+PreferenceFunction = Callable[[Context], float]
+
+
+def source_trust_policy(
+    trust: Mapping[str, float], default: float = 0.5
+) -> PreferenceFunction:
+    """Prefer contexts from trusted sources.
+
+    ``trust`` maps source names to trust scores in [0, 1].
+    """
+
+    def preference(ctx: Context) -> float:
+        return trust.get(ctx.source, default)
+
+    return preference
+
+
+def freshness_policy() -> PreferenceFunction:
+    """Prefer fresher contexts (the Bu et al. [1] 'latest is most
+    reliable' assumption expressed as a user policy)."""
+
+    def preference(ctx: Context) -> float:
+        return ctx.timestamp
+
+    return preference
+
+
+@register_strategy("user-specified")
+class UserSpecifiedStrategy(ImmediateStrategy):
+    """Discard the least-preferred context of each inconsistency.
+
+    Parameters
+    ----------
+    preference:
+        A :data:`PreferenceFunction`.  Defaults to
+        :func:`freshness_policy` (keep fresher contexts), a policy
+        users commonly specified in the constraint study [19].
+    """
+
+    name = "user-specified"
+
+    def __init__(self, preference: Optional[PreferenceFunction] = None) -> None:
+        super().__init__()
+        self._preference = preference or freshness_policy()
+
+    def choose_victims(
+        self, ctx: Context, inconsistency: Inconsistency
+    ) -> Iterable[Context]:
+        victim = min(
+            inconsistency.contexts,
+            key=lambda c: (self._preference(c), c.ctx_id),
+        )
+        return (victim,)

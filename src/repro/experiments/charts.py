@@ -1,0 +1,121 @@
+"""Terminal charts: render figure series as ASCII line plots.
+
+The paper's Figures 9/10 are line charts of rate vs error rate; this
+module renders the same series in plain text so the reproduction can
+be *seen*, not just tabulated, anywhere a terminal exists:
+
+    sitActRate (%)
+    100 |O...........O...........O...........O     O Opt-R
+     90 |B...........B......                       B D-Bad
+        |                 `````B...........B
+     ...
+        +------------------------------------
+         10%         20%         30%         40%
+
+No plotting dependency is used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import SeriesPoint
+
+__all__ = ["ascii_chart", "chart_comparison"]
+
+#: Plot glyph per strategy (first letter of the paper's legend).
+_GLYPHS: Dict[str, str] = {
+    "opt-r": "O",
+    "drop-bad": "B",
+    "drop-bad-conservative": "C",
+    "drop-latest": "L",
+    "drop-all": "A",
+    "drop-random": "R",
+    "user-specified": "U",
+}
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    x_format: str = "{:.0%}",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Points are marked with each series' glyph (its name's first
+    letter, upper-cased, unless it has a well-known glyph); collisions
+    show ``*``.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    xs = sorted({x for points in series.values() for x, _ in points})
+    ys = [y for points in series.values() for _, y in points]
+    if not xs:
+        raise ValueError("series contain no points")
+    low = y_min if y_min is not None else min(ys)
+    high = y_max if y_max is not None else max(ys)
+    if high <= low:
+        high = low + 1.0
+
+    def column(x: float) -> int:
+        if len(xs) == 1:
+            return width // 2
+        return round(
+            (xs.index(x)) * (width - 1) / (len(xs) - 1)
+        )
+
+    def row(y: float) -> int:
+        clamped = min(max(y, low), high)
+        return round((high - clamped) * (height - 1) / (high - low))
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, points in series.items():
+        glyph = _GLYPHS.get(name, name[:1].upper() or "?")
+        for x, y in points:
+            r, c = row(y), column(x)
+            grid[r][c] = "*" if grid[r][c] not in (" ", glyph) else glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for index, cells in enumerate(grid):
+        value = high - index * (high - low) / (height - 1)
+        lines.append(f"{value:6.1f} |" + "".join(cells))
+    lines.append("       +" + "-" * width)
+    axis = [" "] * width
+    for x in xs:
+        label = x_format.format(x)
+        start = min(column(x), width - len(label))
+        for offset, char in enumerate(label):
+            axis[start + offset] = char
+    lines.append("        " + "".join(axis))
+    legend = "  ".join(
+        f"{_GLYPHS.get(name, name[:1].upper())}={name}"
+        for name in sorted(series)
+    )
+    lines.append(f"        {legend}")
+    return "\n".join(lines)
+
+
+def chart_comparison(
+    points: Sequence[SeriesPoint], metric: str = "ctx_use_rate", title: str = ""
+) -> str:
+    """Chart one metric of a comparison's series points."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for point in points:
+        series.setdefault(point.strategy, []).append(
+            (point.err_rate, getattr(point, metric))
+        )
+    for values in series.values():
+        values.sort()
+    return ascii_chart(
+        series,
+        title=title or metric,
+        y_min=min(50.0, min(getattr(p, metric) for p in points)),
+        y_max=100.0 + 2.0,
+    )

@@ -1,0 +1,235 @@
+"""Experiment harness: runs strategies over application workloads.
+
+One *group* (paper terminology) is one generated context stream played
+through the middleware under one resolution strategy.  A *comparison*
+runs every strategy over the same streams at every error rate -- the
+paper's 320-group setup is ``strategies(4) x err_rates(4) x
+groups(20)`` per application -- and normalizes the two metrics against
+OPT-R to produce the Figure 9/10 series.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from ..core.context import Context
+from ..core.drop_bad import DropBadStrategy
+from ..core.strategy import ResolutionStrategy, make_strategy
+from ..middleware.manager import Middleware
+from ..situations.situation import SituationEngine
+from .metrics import (
+    GroupMetrics,
+    SeriesPoint,
+    average_metrics,
+    normalized_rate,
+    sample_stdev,
+)
+
+__all__ = [
+    "ApplicationBundle",
+    "default_strategy_factory",
+    "run_group",
+    "ComparisonConfig",
+    "ComparisonResult",
+    "run_comparison",
+    "DEFAULT_STRATEGIES",
+    "DEFAULT_ERROR_RATES",
+]
+
+#: The four strategies the paper compares.
+DEFAULT_STRATEGIES: Tuple[str, ...] = ("opt-r", "drop-bad", "drop-latest", "drop-all")
+
+#: The paper's controlled error rates (Section 4.1).
+DEFAULT_ERROR_RATES: Tuple[float, ...] = (0.10, 0.20, 0.30, 0.40)
+
+
+class ApplicationBundle(Protocol):
+    """What the harness needs from an application module."""
+
+    def build_checker(self, incremental: bool = ...):  # pragma: no cover
+        ...
+
+    def build_situations(self):  # pragma: no cover
+        ...
+
+    def generate_workload(self, err_rate: float, seed: int, **kwargs):
+        ...  # pragma: no cover
+
+
+def default_strategy_factory(name: str, seed: int) -> ResolutionStrategy:
+    """Create a strategy; stochastic ones get a derived, fixed seed."""
+    if name == "drop-random":
+        return make_strategy(name, rng=random.Random(seed ^ 0x5EED))
+    return make_strategy(name)
+
+
+#: Backwards-compatible alias.
+_instantiate_strategy = default_strategy_factory
+
+
+def run_group(
+    app: ApplicationBundle,
+    strategy: ResolutionStrategy,
+    contexts: Sequence[Context],
+    *,
+    err_rate: float,
+    seed: int,
+    use_window: int = 4,
+) -> GroupMetrics:
+    """Play one pre-generated stream under one strategy instance."""
+    middleware = Middleware(
+        app.build_checker(), strategy, use_window=use_window
+    )
+    engine = SituationEngine(app.build_situations())
+    middleware.plug_in(engine)
+    middleware.receive_all(contexts)
+
+    log = middleware.resolution.log
+    delivered = log.delivered
+    return GroupMetrics(
+        strategy=strategy.name,
+        err_rate=err_rate,
+        seed=seed,
+        contexts_total=len(contexts),
+        contexts_corrupted=sum(1 for c in contexts if c.corrupted),
+        contexts_used=len(delivered),
+        contexts_used_corrupted=sum(1 for c in delivered if c.corrupted),
+        situations_activated=engine.total_activations(),
+        situations_spurious=engine.total_spurious(),
+        inconsistencies_detected=len(log.detected),
+        contexts_discarded=len(log.discarded),
+        discarded_corrupted=log.discarded_corrupted(),
+        discarded_expected=log.discarded_expected(),
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonConfig:
+    """Grid configuration for a Figure 9/10 style comparison.
+
+    The paper runs 20 groups per (strategy, error rate) point; that is
+    the default.  Benchmarks shrink ``groups_per_point`` to keep wall
+    time reasonable -- the shape is stable from ~5 groups on.
+    """
+
+    strategies: Tuple[str, ...] = DEFAULT_STRATEGIES
+    err_rates: Tuple[float, ...] = DEFAULT_ERROR_RATES
+    groups_per_point: int = 20
+    #: Arrivals between a context's arrival and its use.  Should cover
+    #: a few same-subject follow-up contexts so drop-bad can gather
+    #: count evidence (Section 5.3); with interleaved sources that
+    #: means roughly 3x the number of concurrent streams.
+    use_window: int = 10
+    base_seed: int = 2008
+    workload_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def total_groups(self) -> int:
+        """Total experiment groups in the grid (320 at paper scale)."""
+        return len(self.strategies) * len(self.err_rates) * self.groups_per_point
+
+
+@dataclass
+class ComparisonResult:
+    """All group metrics plus the normalized Figure 9/10 series."""
+
+    config: ComparisonConfig
+    groups: List[GroupMetrics] = field(default_factory=list)
+
+    def groups_for(self, strategy: str, err_rate: float) -> List[GroupMetrics]:
+        return [
+            g
+            for g in self.groups
+            if g.strategy == strategy and abs(g.err_rate - err_rate) < 1e-12
+        ]
+
+    def series(self, baseline: str = "opt-r") -> List[SeriesPoint]:
+        """Normalized (ctxUseRate, sitActRate) per strategy x err_rate."""
+        points: List[SeriesPoint] = []
+        for err_rate in self.config.err_rates:
+            base = average_metrics(self.groups_for(baseline, err_rate))
+            for strategy in self.config.strategies:
+                groups = self.groups_for(strategy, err_rate)
+                mine = average_metrics(groups)
+                use_base = base["contexts_used_expected"]
+                act_base = base["situations_activated_correct"]
+                points.append(
+                    SeriesPoint(
+                        strategy=strategy,
+                        err_rate=err_rate,
+                        ctx_use_rate=normalized_rate(
+                            mine["contexts_used_expected"], use_base
+                        ),
+                        sit_act_rate=normalized_rate(
+                            mine["situations_activated_correct"], act_base
+                        ),
+                        ctx_use_rate_std=sample_stdev(
+                            [
+                                normalized_rate(
+                                    g.contexts_used_expected, use_base
+                                )
+                                for g in groups
+                            ]
+                        ),
+                        sit_act_rate_std=sample_stdev(
+                            [
+                                normalized_rate(
+                                    g.situations_activated_correct, act_base
+                                )
+                                for g in groups
+                            ]
+                        ),
+                        raw=mine,
+                    )
+                )
+        return points
+
+    def point(
+        self, strategy: str, err_rate: float, baseline: str = "opt-r"
+    ) -> SeriesPoint:
+        for candidate in self.series(baseline):
+            if candidate.strategy == strategy and abs(
+                candidate.err_rate - err_rate
+            ) < 1e-12:
+                return candidate
+        raise KeyError((strategy, err_rate))
+
+
+def run_comparison(
+    app: ApplicationBundle,
+    config: Optional[ComparisonConfig] = None,
+    *,
+    strategy_factory: Optional[
+        Callable[[str, int], ResolutionStrategy]
+    ] = None,
+) -> ComparisonResult:
+    """Run the full strategies x error-rates x groups grid.
+
+    Every strategy sees the *same* generated stream for a given
+    (error rate, group) cell, so normalization against OPT-R compares
+    like with like.  ``strategy_factory`` can be overridden for
+    ablations (e.g. drop-bad with a different tie-break policy).
+    """
+    config = config or ComparisonConfig()
+    factory = strategy_factory or default_strategy_factory
+    result = ComparisonResult(config=config)
+    kwargs = dict(config.workload_kwargs)
+    for rate_index, err_rate in enumerate(config.err_rates):
+        for group in range(config.groups_per_point):
+            seed = config.base_seed + rate_index * 1000 + group
+            contexts = app.generate_workload(err_rate, seed, **kwargs)
+            for strategy_name in config.strategies:
+                strategy = factory(strategy_name, seed)
+                result.groups.append(
+                    run_group(
+                        app,
+                        strategy,
+                        contexts,
+                        err_rate=err_rate,
+                        seed=seed,
+                        use_window=config.use_window,
+                    )
+                )
+    return result

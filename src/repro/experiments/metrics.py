@@ -1,0 +1,152 @@
+"""Context-awareness metrics (paper Section 4).
+
+Two primary metrics quantify how much a resolution strategy affects an
+application's context-awareness:
+
+* **number of used contexts** -- contexts actually delivered to
+  applications after resolution, and
+* **number of activated situations** -- situations that fired.
+
+Both are normalized against the OPT-R oracle to give the paper's
+*context use rate* (ctxUseRate) and *situation activation rate*
+(sitActRate).  The module also computes the Section 5.2 case-study
+metrics (survival rate, removal precision) and some extended
+diagnostics (spurious deliveries/activations caused by corrupted
+contexts that slipped through).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "GroupMetrics",
+    "normalized_rate",
+    "SeriesPoint",
+    "average_metrics",
+    "sample_stdev",
+]
+
+
+def sample_stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two samples)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    return (sum((v - mean) ** 2 for v in values) / (n - 1)) ** 0.5
+
+
+@dataclass(frozen=True)
+class GroupMetrics:
+    """Raw counters from one experiment group (one stream, one strategy)."""
+
+    strategy: str
+    err_rate: float
+    seed: int
+    contexts_total: int
+    contexts_corrupted: int
+    contexts_used: int
+    contexts_used_corrupted: int
+    situations_activated: int
+    situations_spurious: int
+
+    @property
+    def contexts_used_expected(self) -> int:
+        """Used contexts that were correct -- what actually helps the
+        application.  OPT-R is the upper bound of this count by
+        construction, so the normalized ctxUseRate stays <= 100%."""
+        return self.contexts_used - self.contexts_used_corrupted
+
+    @property
+    def situations_activated_correct(self) -> int:
+        """Activations not triggered by a corrupted context."""
+        return self.situations_activated - self.situations_spurious
+    inconsistencies_detected: int
+    contexts_discarded: int
+    discarded_corrupted: int
+    discarded_expected: int
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of expected contexts not discarded (Section 5.2)."""
+        expected = self.contexts_total - self.contexts_corrupted
+        if expected == 0:
+            return 1.0
+        return 1.0 - self.discarded_expected / expected
+
+    @property
+    def removal_precision(self) -> float:
+        """Fraction of discarded contexts that were corrupted (5.2)."""
+        if self.contexts_discarded == 0:
+            return 1.0
+        return self.discarded_corrupted / self.contexts_discarded
+
+    @property
+    def removal_recall(self) -> float:
+        """Fraction of corrupted contexts that were discarded."""
+        if self.contexts_corrupted == 0:
+            return 1.0
+        return self.discarded_corrupted / self.contexts_corrupted
+
+
+def average_metrics(groups: Sequence[GroupMetrics]) -> Dict[str, float]:
+    """Mean raw counters over a set of groups (one plot point)."""
+    if not groups:
+        raise ValueError("cannot average zero groups")
+    n = len(groups)
+    return {
+        "contexts_used": sum(g.contexts_used for g in groups) / n,
+        "contexts_used_expected": sum(
+            g.contexts_used_expected for g in groups
+        )
+        / n,
+        "situations_activated": sum(g.situations_activated for g in groups) / n,
+        "situations_activated_correct": sum(
+            g.situations_activated_correct for g in groups
+        )
+        / n,
+        "survival_rate": sum(g.survival_rate for g in groups) / n,
+        "removal_precision": sum(g.removal_precision for g in groups) / n,
+        "removal_recall": sum(g.removal_recall for g in groups) / n,
+        "inconsistencies_detected": sum(
+            g.inconsistencies_detected for g in groups
+        )
+        / n,
+        "contexts_discarded": sum(g.contexts_discarded for g in groups) / n,
+        "situations_spurious": sum(g.situations_spurious for g in groups) / n,
+        "contexts_used_corrupted": sum(
+            g.contexts_used_corrupted for g in groups
+        )
+        / n,
+    }
+
+
+def normalized_rate(value: float, baseline: float) -> float:
+    """``value`` as a percentage of the OPT-R ``baseline``.
+
+    Returns 100.0 when the baseline is zero and the value is too (both
+    silent), and infinity-free 0.0 when only the baseline is zero-ish.
+    """
+    if baseline <= 0:
+        return 100.0 if value <= 0 else 0.0
+    return 100.0 * value / baseline
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One point of a Figure 9/10 series: a strategy at an error rate.
+
+    ``*_std`` carry the across-group sample standard deviation of the
+    normalized rates (0.0 for a single group), so reports can show the
+    spread behind each averaged point.
+    """
+
+    strategy: str
+    err_rate: float
+    ctx_use_rate: float
+    sit_act_rate: float
+    ctx_use_rate_std: float = 0.0
+    sit_act_rate_std: float = 0.0
+    raw: Mapping[str, float] = field(default_factory=dict)

@@ -1,0 +1,48 @@
+"""Cabot-like middleware: clock, pool, bus, plug-in services, manager."""
+
+from .bus import (
+    ContextAdmitted,
+    ContextBuffered,
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+    ContextMarkedBad,
+    ContextReceived,
+    Event,
+    EventBus,
+    InconsistencyDetected,
+    SituationActivated,
+)
+from .clock import SimulationClock
+from .logging_service import LoggingService
+from .manager import Middleware
+from .pool import ContextPool
+from .service import MiddlewareService, ServiceRegistry
+from .subscription import Subscription, SubscriptionRegistry
+from .trace import dump_context, load_context, read_trace, write_trace
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "ContextReceived",
+    "ContextAdmitted",
+    "ContextBuffered",
+    "ContextDiscarded",
+    "ContextDelivered",
+    "ContextMarkedBad",
+    "ContextExpired",
+    "InconsistencyDetected",
+    "SituationActivated",
+    "SimulationClock",
+    "LoggingService",
+    "Middleware",
+    "ContextPool",
+    "MiddlewareService",
+    "ServiceRegistry",
+    "Subscription",
+    "SubscriptionRegistry",
+    "dump_context",
+    "load_context",
+    "read_trace",
+    "write_trace",
+]

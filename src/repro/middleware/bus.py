@@ -1,0 +1,133 @@
+"""Typed event bus connecting middleware components.
+
+Components communicate through published events rather than direct
+references, mirroring Cabot's plug-in architecture: the resolution
+service, the situation engine, application subscriptions and the
+metrics collector all observe the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Type, TypeVar
+
+from ..core.context import Context
+from ..core.inconsistency import Inconsistency
+
+__all__ = [
+    "Event",
+    "ContextReceived",
+    "ContextAdmitted",
+    "ContextBuffered",
+    "ContextDiscarded",
+    "ContextDelivered",
+    "ContextMarkedBad",
+    "ContextExpired",
+    "InconsistencyDetected",
+    "SituationActivated",
+    "EventBus",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for bus events; ``at`` is simulation time."""
+
+    at: float
+
+
+@dataclass(frozen=True)
+class ContextReceived(Event):
+    """A context source handed a context to the middleware."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextAdmitted(Event):
+    """The strategy judged a context consistent and available."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextBuffered(Event):
+    """Drop-bad held a context in the buffer pending its use."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextDiscarded(Event):
+    """A context was judged inconsistent and removed from the pool."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextDelivered(Event):
+    """A used context was delivered to the requesting application."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextMarkedBad(Event):
+    """Drop-bad marked a context bad (deferred discard)."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextExpired(Event):
+    """A context's availability period elapsed before it was used."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class InconsistencyDetected(Event):
+    """The checker reported a constraint violation."""
+
+    inconsistency: Inconsistency
+
+
+@dataclass(frozen=True)
+class SituationActivated(Event):
+    """A situation fired for an application."""
+
+    situation: str
+    context: Context
+
+
+E = TypeVar("E", bound=Event)
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe dispatch keyed on event type.
+
+    Handlers subscribed to a base class also receive subclass events,
+    so ``bus.subscribe(Event, tap)`` observes everything.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type[Event], List[Handler]] = {}
+        self.published: int = 0
+
+    def subscribe(self, event_type: Type[E], handler: Callable[[E], None]) -> None:
+        """Register ``handler`` for events of ``event_type`` (and subtypes)."""
+        self._handlers.setdefault(event_type, []).append(handler)  # type: ignore[arg-type]
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` synchronously to all matching handlers."""
+        self.published += 1
+        for event_type, handlers in self._handlers.items():
+            if isinstance(event, event_type):
+                for handler in list(handlers):
+                    handler(event)
+
+    def clear(self) -> None:
+        """Drop all subscriptions (between experiment groups)."""
+        self._handlers.clear()
+        self.published = 0

@@ -1,0 +1,57 @@
+"""Simulation clock.
+
+All middleware components share one monotonic clock.  Experiments are
+discrete-event simulations: the clock is advanced by the workload (to
+each context's production timestamp) rather than by wall time, which
+keeps every run deterministic and independent of host speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """A monotonic, manually advanced clock.
+
+    Raises if asked to move backwards -- a workload bug that would
+    otherwise silently corrupt freshness/expiry logic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._watchers: List[Callable[[float], None]] = []
+
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` (must be >= 0)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt {dt}")
+        return self.advance_to(self._now + dt)
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t``.
+
+        ``t`` may equal the current time (no-op) but not precede it.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested {t}"
+            )
+        if t > self._now:
+            self._now = t
+            for watcher in self._watchers:
+                watcher(t)
+        return self._now
+
+    def on_advance(self, watcher: Callable[[float], None]) -> None:
+        """Register a callback invoked after every forward move."""
+        self._watchers.append(watcher)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulationClock(now={self._now:g})"

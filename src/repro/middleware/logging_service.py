@@ -1,0 +1,112 @@
+"""Structured logging plug-in for the middleware.
+
+Attaching a :class:`LoggingService` mirrors the full event stream onto
+a standard :mod:`logging` logger -- the usual way to watch a run
+without writing a bespoke bus subscriber:
+
+    import logging
+    logging.basicConfig(level=logging.DEBUG)
+    middleware.plug_in(LoggingService())
+
+Inconsistency detections and discards log at INFO (they are the
+interesting events); the high-volume arrival/delivery chatter logs at
+DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from .bus import (
+    ContextAdmitted,
+    ContextBuffered,
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+    ContextMarkedBad,
+    ContextReceived,
+    InconsistencyDetected,
+    SituationActivated,
+)
+from .manager import Middleware
+from .service import MiddlewareService
+
+__all__ = ["LoggingService"]
+
+
+class LoggingService(MiddlewareService):
+    """Mirrors middleware events onto a logger."""
+
+    name = "logging"
+
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
+        self.logger = logger or logging.getLogger("repro.middleware")
+
+    def on_attach(self, middleware: Middleware) -> None:
+        bus = middleware.bus
+        log = self.logger
+
+        bus.subscribe(
+            ContextReceived,
+            lambda e: log.debug(
+                "t=%.1f received %s", e.at, e.context.ctx_id
+            ),
+        )
+        bus.subscribe(
+            ContextAdmitted,
+            lambda e: log.debug(
+                "t=%.1f admitted %s", e.at, e.context.ctx_id
+            ),
+        )
+        bus.subscribe(
+            ContextBuffered,
+            lambda e: log.debug(
+                "t=%.1f buffered %s", e.at, e.context.ctx_id
+            ),
+        )
+        bus.subscribe(
+            ContextDelivered,
+            lambda e: log.debug(
+                "t=%.1f delivered %s", e.at, e.context.ctx_id
+            ),
+        )
+        bus.subscribe(
+            ContextExpired,
+            lambda e: log.debug(
+                "t=%.1f expired %s", e.at, e.context.ctx_id
+            ),
+        )
+        bus.subscribe(
+            InconsistencyDetected,
+            lambda e: log.info(
+                "t=%.1f inconsistency %s {%s}",
+                e.at,
+                e.inconsistency.constraint,
+                ",".join(sorted(c.ctx_id for c in e.inconsistency.contexts)),
+            ),
+        )
+        bus.subscribe(
+            ContextMarkedBad,
+            lambda e: log.info(
+                "t=%.1f marked bad %s", e.at, e.context.ctx_id
+            ),
+        )
+        bus.subscribe(
+            ContextDiscarded,
+            lambda e: log.info(
+                "t=%.1f discarded %s%s",
+                e.at,
+                e.context.ctx_id,
+                " (corrupted)" if e.context.corrupted else "",
+            ),
+        )
+        bus.subscribe(
+            SituationActivated,
+            lambda e: log.info(
+                "t=%.1f situation %s activated by %s",
+                e.at,
+                e.situation,
+                e.context.ctx_id,
+            ),
+        )

@@ -1,0 +1,216 @@
+"""The middleware manager: the reproduction of the Cabot host.
+
+The manager owns the full pipeline of the paper's experimental setup:
+
+    context source ──▶ receive ──▶ constraint check ──▶ resolution
+                                                      strategy plug-in
+         applications ◀── deliver ◀── use (context deletion change)
+
+Contexts are *used* by applications a configurable window after their
+arrival (Section 5.3: "the time window, i.e. period before a context
+is used by applications").  Two window semantics are supported:
+
+* **count-based** (``use_window`` arrivals) -- deterministic and the
+  experiments' default;
+* **time-based** (``use_delay`` simulated seconds) -- the
+  "checking-sensitive period" of the Cabot middleware [16] that the
+  paper cites as a natural window source; due contexts are used as the
+  clock advances past ``arrival + use_delay``.
+
+A zero window means every context is used immediately upon arrival,
+which degenerates drop-bad into drop-latest behaviour (Section 5.3)
+-- the window ablation benchmark exercises exactly this claim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..core.context import Context, ContextState
+from ..core.resolver import InconsistencyDetector, ResolutionService
+from ..core.strategy import ResolutionStrategy
+from .bus import (
+    ContextAdmitted,
+    ContextBuffered,
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+    ContextMarkedBad,
+    ContextReceived,
+    EventBus,
+    InconsistencyDetected,
+)
+from .clock import SimulationClock
+from .pool import ContextPool
+from .service import MiddlewareService, ServiceRegistry
+from .subscription import SubscriptionRegistry
+
+__all__ = ["Middleware"]
+
+
+class Middleware:
+    """Hosts the pool, the resolution plug-in, and application delivery.
+
+    Parameters
+    ----------
+    detector:
+        Inconsistency detector (usually a
+        :class:`~repro.constraints.checker.ConstraintChecker`).
+    strategy:
+        The resolution strategy plug-in for this run.
+    use_window:
+        How many later context arrivals pass before a context is used
+        by applications (>= 0).  Ignored when ``use_delay`` is given.
+    use_delay:
+        Alternative time-based window: a context is used once the
+        simulation clock passes ``arrival + use_delay`` seconds.
+    clock, bus:
+        Optionally injected for sharing across components.
+    """
+
+    def __init__(
+        self,
+        detector: InconsistencyDetector,
+        strategy: ResolutionStrategy,
+        *,
+        use_window: int = 4,
+        use_delay: Optional[float] = None,
+        clock: Optional[SimulationClock] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if use_window < 0:
+            raise ValueError(f"use_window must be >= 0, got {use_window}")
+        if use_delay is not None and use_delay < 0:
+            raise ValueError(f"use_delay must be >= 0, got {use_delay}")
+        self.clock = clock or SimulationClock()
+        self.bus = bus or EventBus()
+        self.pool = ContextPool()
+        self.resolution = ResolutionService(detector, strategy)
+        self.subscriptions = SubscriptionRegistry()
+        self.services = ServiceRegistry()
+        self.use_window = use_window
+        self.use_delay = use_delay
+        self._pending_use: Deque[Tuple[Context, int, float]] = deque()
+        self._arrivals = 0
+        self._used_ids: set = set()
+
+    # -- plug-ins -------------------------------------------------------------
+
+    @property
+    def strategy(self) -> ResolutionStrategy:
+        return self.resolution.strategy
+
+    def plug_in(self, service: MiddlewareService) -> None:
+        """Attach a plug-in service (situation engine, metrics, ...)."""
+        self.services.add(service)
+        service.on_attach(self)
+
+    # -- the context addition change ------------------------------------------
+
+    def receive(self, ctx: Context) -> None:
+        """Process a context handed over by a context source."""
+        now = max(self.clock.now(), ctx.timestamp)
+        self.clock.advance_to(now)
+        self._expire(now)
+        if self.use_delay is not None:
+            # Time-based window: contexts whose delay elapsed are used
+            # BEFORE the newcomer is checked -- they have left the
+            # checking scope by the time it arrives.
+            self._drain_due_uses(now)
+
+        existing = [c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id]
+        detected_before = len(self.resolution.log.detected)
+        outcome = self.resolution.handle_addition(ctx, existing, now)
+        self.bus.publish(ContextReceived(at=now, context=ctx))
+        for inconsistency in self.resolution.log.detected[detected_before:]:
+            self.bus.publish(
+                InconsistencyDetected(at=now, inconsistency=inconsistency)
+            )
+
+        discarded_ids = {c.ctx_id for c in outcome.discarded}
+        if ctx.ctx_id not in discarded_ids:
+            self.pool.add(ctx)
+            self._arrivals += 1
+            self._pending_use.append((ctx, self._arrivals, now))
+        for victim in outcome.discarded:
+            self.pool.remove(victim)
+            self._unschedule(victim)
+            self.bus.publish(ContextDiscarded(at=now, context=victim))
+        for admitted in outcome.admitted:
+            self.bus.publish(ContextAdmitted(at=now, context=admitted))
+        if outcome.buffered:
+            self.bus.publish(ContextBuffered(at=now, context=ctx))
+
+        self._drain_due_uses(now)
+
+    def receive_all(self, contexts: Iterable[Context]) -> None:
+        """Feed a whole stream, then flush the remaining pending uses."""
+        for ctx in contexts:
+            self.receive(ctx)
+        self.flush_uses()
+
+    # -- the context deletion (use) change --------------------------------------
+
+    def use(self, ctx: Context) -> bool:
+        """An application uses ``ctx`` now; returns whether delivered."""
+        now = self.clock.now()
+        self._used_ids.add(ctx.ctx_id)
+        outcome = self.resolution.handle_use(ctx, now)
+        for bad in outcome.newly_bad:
+            self.bus.publish(ContextMarkedBad(at=now, context=bad))
+        for victim in outcome.discarded:
+            self.pool.remove(victim)
+            self._unschedule(victim)
+            self.bus.publish(ContextDiscarded(at=now, context=victim))
+        if outcome.delivered:
+            self.bus.publish(ContextDelivered(at=now, context=ctx))
+            self.subscriptions.dispatch(ctx)
+        return outcome.delivered
+
+    def flush_uses(self) -> None:
+        """Use every context still awaiting its window (end of stream)."""
+        while self._pending_use:
+            ctx, _, _ = self._pending_use.popleft()
+            self.use(ctx)
+
+    # -- queries ---------------------------------------------------------------
+
+    def available_contexts(self) -> List[Context]:
+        """Live contexts currently judged consistent (app-visible)."""
+        lifecycle = self.strategy.lifecycle
+        return [
+            c
+            for c in self.pool
+            if lifecycle.known(c)
+            and lifecycle.state_of(c) == ContextState.CONSISTENT
+        ]
+
+    def used_count(self) -> int:
+        return len(self._used_ids)
+
+    # -- internals --------------------------------------------------------------
+
+    def _drain_due_uses(self, now: float) -> None:
+        def head_is_due() -> bool:
+            if not self._pending_use:
+                return False
+            _, arrival_index, arrived_at = self._pending_use[0]
+            if self.use_delay is not None:
+                return now >= arrived_at + self.use_delay
+            return self._arrivals - arrival_index >= self.use_window
+
+        while head_is_due():
+            ctx, _, _ = self._pending_use.popleft()
+            self.use(ctx)
+
+    def _unschedule(self, ctx: Context) -> None:
+        self._pending_use = deque(
+            entry for entry in self._pending_use if entry[0].ctx_id != ctx.ctx_id
+        )
+
+    def _expire(self, now: float) -> None:
+        for expired in self.pool.expire(now):
+            self._unschedule(expired)
+            self.resolution.strategy.delta.resolve_involving(expired)
+            self.bus.publish(ContextExpired(at=now, context=expired))

@@ -1,0 +1,103 @@
+"""The context pool: the middleware's repository of live contexts.
+
+Holds every context that has been received and neither discarded nor
+expired, in arrival order.  Availability to applications is a
+life-cycle question answered by the resolution strategy; the pool only
+answers liveness and lookup questions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..core.context import Context
+
+__all__ = ["ContextPool"]
+
+
+class ContextPool:
+    """Ordered collection of live contexts with expiry support."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, Context] = {}
+        self._order: List[str] = []
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, ctx: Context) -> None:
+        """Insert a context; ids must be unique among live contexts."""
+        if ctx.ctx_id in self._by_id:
+            raise ValueError(f"context {ctx.ctx_id!r} already in pool")
+        self._by_id[ctx.ctx_id] = ctx
+        self._order.append(ctx.ctx_id)
+
+    def remove(self, ctx: Context) -> bool:
+        """Remove a context (discard); returns whether it was present."""
+        if ctx.ctx_id not in self._by_id:
+            return False
+        del self._by_id[ctx.ctx_id]
+        self._order.remove(ctx.ctx_id)
+        return True
+
+    def expire(self, now: float) -> List[Context]:
+        """Remove and return every context whose lifespan elapsed."""
+        expired = [c for c in self if c.is_expired(now)]
+        for ctx in expired:
+            self.remove(ctx)
+        return expired
+
+    def clear(self) -> None:
+        self._by_id.clear()
+        self._order.clear()
+
+    # -- lookup -----------------------------------------------------------
+
+    def __contains__(self, ctx: object) -> bool:
+        return isinstance(ctx, Context) and ctx.ctx_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Context]:
+        """Contexts in arrival order."""
+        return (self._by_id[ctx_id] for ctx_id in list(self._order))
+
+    def get(self, ctx_id: str) -> Optional[Context]:
+        return self._by_id.get(ctx_id)
+
+    def contents(self) -> List[Context]:
+        """All live contexts in arrival order (a fresh list)."""
+        return list(self)
+
+    def by_type(self, ctx_type: str) -> List[Context]:
+        return [c for c in self if c.ctx_type == ctx_type]
+
+    def by_subject(self, subject: str) -> List[Context]:
+        return [c for c in self if c.subject == subject]
+
+    def query(
+        self,
+        ctx_type: Optional[str] = None,
+        subject: Optional[str] = None,
+        predicate: Optional[Callable[[Context], bool]] = None,
+    ) -> List[Context]:
+        """Filter live contexts by type, subject and/or a predicate."""
+        out = []
+        for ctx in self:
+            if ctx_type is not None and ctx.ctx_type != ctx_type:
+                continue
+            if subject is not None and ctx.subject != subject:
+                continue
+            if predicate is not None and not predicate(ctx):
+                continue
+            out.append(ctx)
+        return out
+
+    def latest(
+        self, ctx_type: Optional[str] = None, subject: Optional[str] = None
+    ) -> Optional[Context]:
+        """The most recent live context matching the filters."""
+        matches = self.query(ctx_type=ctx_type, subject=subject)
+        if not matches:
+            return None
+        return max(matches, key=lambda c: (c.timestamp, c.ctx_id))

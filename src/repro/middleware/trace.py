@@ -1,0 +1,89 @@
+"""Context-trace recording and replay (JSONL).
+
+A recorded trace makes a run repeatable and shareable: the exact
+context stream an experiment consumed can be written to a JSON-Lines
+file and replayed later through any strategy -- the workflow one uses
+with real deployment traces instead of synthetic workloads.
+
+Format: one JSON object per line with the Context fields; values and
+attributes must be JSON-serializable (positions are stored as lists
+and restored as tuples).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from ..core.context import Context
+
+__all__ = ["dump_context", "load_context", "write_trace", "read_trace"]
+
+_INF = "Infinity"
+
+
+def dump_context(ctx: Context) -> str:
+    """One context as a JSON line (no trailing newline)."""
+    record = {
+        "ctx_id": ctx.ctx_id,
+        "ctx_type": ctx.ctx_type,
+        "subject": ctx.subject,
+        "value": ctx.value,
+        "timestamp": ctx.timestamp,
+        "lifespan": _INF if math.isinf(ctx.lifespan) else ctx.lifespan,
+        "source": ctx.source,
+        "corrupted": ctx.corrupted,
+        "attributes": list(ctx.attributes),
+    }
+    try:
+        return json.dumps(record, sort_keys=True)
+    except TypeError as error:
+        raise ValueError(
+            f"context {ctx.ctx_id!r} is not trace-serializable: {error}"
+        ) from None
+
+
+def load_context(line: str) -> Context:
+    """Parse one JSON line back into a Context."""
+    record = json.loads(line)
+    value = record["value"]
+    if isinstance(value, list):
+        value = tuple(value)
+    lifespan = record["lifespan"]
+    if lifespan == _INF:
+        lifespan = math.inf
+    return Context(
+        ctx_id=record["ctx_id"],
+        ctx_type=record["ctx_type"],
+        subject=record["subject"],
+        value=value,
+        timestamp=record["timestamp"],
+        lifespan=lifespan,
+        source=record["source"],
+        corrupted=record["corrupted"],
+        attributes=tuple((k, v) for k, v in record["attributes"]),
+    )
+
+
+def write_trace(contexts: Iterable[Context], path: Union[str, Path]) -> int:
+    """Write a stream to a JSONL trace file; returns contexts written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for ctx in contexts:
+            handle.write(dump_context(ctx))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> List[Context]:
+    """Load a JSONL trace file back into a context list."""
+    contexts: List[Context] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                contexts.append(load_context(line))
+    return contexts

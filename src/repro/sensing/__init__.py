@@ -1,0 +1,52 @@
+"""Simulated sensing substrate: environments, mobility, sensors, noise."""
+
+from .badge import BadgeSensorNetwork, BadgeSighting
+from .environment import FloorPlan, Room, office_floor, warehouse_floor
+from .landmarc import (
+    LandmarcEstimator,
+    ReferenceTag,
+    corner_readers,
+    grid_reference_tags,
+)
+from .mobility import RandomWaypointWalker, ScriptedPath, TruePosition, ZoneFlowWalker
+from .noise import LocationNoiseModel, NoisyReading, RoomNoiseModel, ZoneNoiseModel
+from .rf import PathLossModel, Reader, rssi_vector
+from .rfid import RFIDRead, ZoneReaderArray
+from .source import (
+    BadgeContextSource,
+    ContextSource,
+    RFIDContextSource,
+    TrackedLocationSource,
+    merge_streams,
+)
+
+__all__ = [
+    "BadgeSensorNetwork",
+    "BadgeSighting",
+    "FloorPlan",
+    "Room",
+    "office_floor",
+    "warehouse_floor",
+    "LandmarcEstimator",
+    "ReferenceTag",
+    "corner_readers",
+    "grid_reference_tags",
+    "RandomWaypointWalker",
+    "ScriptedPath",
+    "TruePosition",
+    "ZoneFlowWalker",
+    "LocationNoiseModel",
+    "NoisyReading",
+    "RoomNoiseModel",
+    "ZoneNoiseModel",
+    "PathLossModel",
+    "Reader",
+    "rssi_vector",
+    "RFIDRead",
+    "ZoneReaderArray",
+    "BadgeContextSource",
+    "ContextSource",
+    "RFIDContextSource",
+    "TrackedLocationSource",
+    "merge_streams",
+]

@@ -1,0 +1,74 @@
+"""RF signal propagation for the LANDMARC simulation.
+
+The LANDMARC case study (paper Section 5.2, [12]) needs RSSI readings
+of active RFID tags at several readers.  We use the standard
+log-distance path-loss model with log-normal shadowing:
+
+    RSSI(d) = P0 - 10 * n * log10(d / d0) + X_sigma
+
+where ``P0`` is the received power at reference distance ``d0``,
+``n`` the path-loss exponent (2..4 indoors) and ``X_sigma`` zero-mean
+Gaussian shadowing.  This reproduces the *relative* RSSI geometry that
+LANDMARC's k-nearest-reference-tag estimation relies on, which is all
+the case-study experiment needs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["PathLossModel", "Reader", "rssi_vector"]
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Reader:
+    """An RFID reader with a fixed position."""
+
+    name: str
+    position: Point
+
+
+class PathLossModel:
+    """Log-distance path loss with optional log-normal shadowing."""
+
+    def __init__(
+        self,
+        *,
+        p0: float = -40.0,
+        exponent: float = 2.4,
+        d0: float = 1.0,
+        shadow_sigma: float = 2.0,
+    ) -> None:
+        if d0 <= 0:
+            raise ValueError("reference distance d0 must be positive")
+        if exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        self.p0 = p0
+        self.exponent = exponent
+        self.d0 = d0
+        self.shadow_sigma = shadow_sigma
+
+    def rssi(
+        self, tag: Point, reader: Point, rng: Optional[random.Random] = None
+    ) -> float:
+        """RSSI (dBm) of ``tag`` as seen by a reader at ``reader``."""
+        distance = max(self.d0, math.hypot(tag[0] - reader[0], tag[1] - reader[1]))
+        value = self.p0 - 10.0 * self.exponent * math.log10(distance / self.d0)
+        if rng is not None and self.shadow_sigma > 0:
+            value += rng.gauss(0.0, self.shadow_sigma)
+        return value
+
+
+def rssi_vector(
+    tag: Point,
+    readers: Sequence[Reader],
+    model: PathLossModel,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """The tag's RSSI at every reader, in reader order."""
+    return [model.rssi(tag, reader.position, rng) for reader in readers]

@@ -1,0 +1,25 @@
+"""Situation definitions and the situation-evaluation engine."""
+
+from .library import (
+    co_located,
+    entered,
+    left,
+    make_situation,
+    position_within,
+    value_in,
+    value_is,
+)
+from .situation import Situation, SituationEngine, SituationView
+
+__all__ = [
+    "Situation",
+    "SituationEngine",
+    "SituationView",
+    "co_located",
+    "entered",
+    "left",
+    "make_situation",
+    "position_within",
+    "value_in",
+    "value_is",
+]

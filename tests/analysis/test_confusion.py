@@ -1,0 +1,89 @@
+"""Tests for the discard confusion analysis."""
+
+import pytest
+
+from repro.analysis.confusion import (
+    DiscardConfusion,
+    confusion_from_log,
+    format_confusion,
+)
+from repro.core.resolver import ResolutionLog
+
+
+class TestDiscardConfusion:
+    def test_scores(self):
+        confusion = DiscardConfusion(
+            true_positives=8,
+            false_positives=2,
+            false_negatives=4,
+            true_negatives=86,
+        )
+        assert confusion.total == 100
+        assert confusion.precision == pytest.approx(0.8)
+        assert confusion.recall == pytest.approx(8 / 12)
+        assert confusion.survival_rate == pytest.approx(86 / 88)
+        assert confusion.accuracy == pytest.approx(0.94)
+        assert 0.0 < confusion.f1 < 1.0
+
+    def test_degenerate_cases(self):
+        empty = DiscardConfusion(0, 0, 0, 0)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        assert empty.survival_rate == 1.0
+        assert empty.accuracy == 1.0
+        assert empty.f1 == 1.0  # vacuously perfect
+        nothing_found = DiscardConfusion(0, 5, 5, 0)
+        assert nothing_found.f1 == 0.0
+
+    def test_f1_balances_precision_and_recall(self):
+        precise = DiscardConfusion(5, 0, 5, 90)
+        recall_heavy = DiscardConfusion(10, 10, 0, 80)
+        assert precise.precision == 1.0
+        assert recall_heavy.recall == 1.0
+        assert 0 < precise.f1 < 1
+        assert 0 < recall_heavy.f1 < 1
+
+
+class TestConfusionFromLog:
+    def test_classification(self, mk):
+        good_kept = mk(ctx_id="gk")
+        good_lost = mk(ctx_id="gl")
+        bad_caught = mk(ctx_id="bc", corrupted=True)
+        bad_missed = mk(ctx_id="bm", corrupted=True)
+        log = ResolutionLog()
+        log.added.extend([good_kept, good_lost, bad_caught, bad_missed])
+        log.discarded.extend([good_lost, bad_caught])
+        confusion = confusion_from_log(log)
+        assert confusion.true_positives == 1
+        assert confusion.false_positives == 1
+        assert confusion.false_negatives == 1
+        assert confusion.true_negatives == 1
+
+    def test_matches_log_shortcuts(self, mk):
+        """The matrix agrees with the ResolutionLog's own metrics."""
+        contexts = [
+            mk(ctx_id=f"c{i}", corrupted=(i % 3 == 0)) for i in range(12)
+        ]
+        log = ResolutionLog()
+        log.added.extend(contexts)
+        log.discarded.extend(contexts[::4])
+        confusion = confusion_from_log(log)
+        assert confusion.precision == pytest.approx(log.removal_precision())
+        assert confusion.survival_rate == pytest.approx(log.survival_rate())
+
+    def test_end_to_end(self):
+        from repro.apps.rfid_anomalies import RFIDAnomaliesApp
+        from repro.core.strategy import make_strategy
+        from repro.middleware.manager import Middleware
+
+        app = RFIDAnomaliesApp()
+        contexts = app.generate_workload(0.3, seed=5, items=5)
+        middleware = Middleware(
+            app.build_checker(), make_strategy("drop-bad"), use_window=20
+        )
+        middleware.receive_all(contexts)
+        confusion = confusion_from_log(middleware.resolution.log)
+        assert confusion.total == len(contexts)
+        assert confusion.precision > 0.5
+        text = format_confusion(confusion)
+        assert "precision" in text and "F1" in text

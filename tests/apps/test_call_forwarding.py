@@ -1,0 +1,163 @@
+"""Unit tests for the Call Forwarding application bundle."""
+
+import pytest
+
+from repro.apps.call_forwarding import (
+    CallForwardingApp,
+    ForwardingController,
+    SAMPLE_PERIOD,
+    VELOCITY_BOUND,
+)
+from repro.core.context import Context
+
+
+@pytest.fixture(scope="module")
+def app():
+    return CallForwardingApp()
+
+
+def loc(ctx_id, pos, t):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="location",
+        subject="peter",
+        value=pos,
+        timestamp=float(t),
+    )
+
+
+def badge(ctx_id, room, t, subject="peter"):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="badge",
+        subject=subject,
+        value=room,
+        timestamp=float(t),
+    )
+
+
+class TestConstraints:
+    def test_five_constraints(self, app):
+        constraints = app.build_constraints()
+        assert len(constraints) == 5
+        assert len({c.name for c in constraints}) == 5
+
+    def test_adjacent_velocity_violation(self, app):
+        checker = app.build_checker()
+        a = loc("a", (5.0, 4.0), 0.0)
+        b = loc("b", (5.0 + VELOCITY_BOUND * SAMPLE_PERIOD + 1.0, 4.0), SAMPLE_PERIOD)
+        incs = checker.detect(b, [a], now=SAMPLE_PERIOD)
+        assert any(i.constraint == "cf-velocity-adjacent" for i in incs)
+
+    def test_separated_velocity_violation(self, app):
+        checker = app.build_checker()
+        a = loc("a", (5.0, 4.0), 0.0)
+        b = loc(
+            "b",
+            (5.0 + VELOCITY_BOUND * 2 * SAMPLE_PERIOD + 1.0, 4.0),
+            2 * SAMPLE_PERIOD,
+        )
+        incs = checker.detect(b, [a], now=2 * SAMPLE_PERIOD)
+        names = {i.constraint for i in incs}
+        assert "cf-velocity-separated" in names
+        assert "cf-velocity-adjacent" not in names
+
+    def test_feasible_area_violation_is_unary(self, app):
+        checker = app.build_checker()
+        outside = loc("x", (-30.0, -30.0), 0.0)
+        incs = checker.detect(outside, [], now=0.0)
+        assert [i.constraint for i in incs] == ["cf-feasible-area"]
+        assert len(list(incs[0])) == 1
+
+    def test_badge_teleport_violation(self, app):
+        checker = app.build_checker()
+        a = badge("a", "office-1", 0.0)
+        b = badge("b", "office-4", SAMPLE_PERIOD)  # not adjacent rooms
+        incs = checker.detect(b, [a], now=SAMPLE_PERIOD)
+        assert any(i.constraint == "cf-badge-no-teleport" for i in incs)
+
+    def test_badge_corridor_moves_are_fine(self, app):
+        checker = app.build_checker()
+        a = badge("a", "office-1", 0.0)
+        b = badge("b", "corridor", SAMPLE_PERIOD)
+        assert checker.detect(b, [a], now=SAMPLE_PERIOD) == []
+
+    def test_badge_location_agreement(self, app):
+        checker = app.build_checker()
+        inside_office2 = (15.0, 4.0)
+        location = loc("l", inside_office2, 10.0)
+        agreeing = badge("b1", "office-2", 10.0)
+        disagreeing = badge("b2", "lounge", 10.0)
+        assert checker.detect(agreeing, [location], now=10.0) == []
+        incs = checker.detect(disagreeing, [location], now=10.0)
+        assert any(
+            i.constraint == "cf-badge-location-agreement" for i in incs
+        )
+
+    def test_different_subjects_never_conflict(self, app):
+        checker = app.build_checker()
+        a = badge("a", "office-1", 0.0, subject="peter")
+        b = badge("b", "office-4", SAMPLE_PERIOD, subject="alice")
+        assert checker.detect(b, [a], now=SAMPLE_PERIOD) == []
+
+
+class TestSituations:
+    def test_three_situations(self, app):
+        situations = app.build_situations()
+        assert len(situations) == 3
+        assert {s.name for s in situations} == {
+            "cf-at-desk",
+            "cf-in-meeting",
+            "cf-with-colleague",
+        }
+
+
+class TestWorkload:
+    def test_workload_is_deterministic(self, app):
+        a = app.generate_workload(0.2, seed=5, duration=60.0)
+        b = app.generate_workload(0.2, seed=5, duration=60.0)
+        assert [c.ctx_id for c in a] == [c.ctx_id for c in b]
+        assert [c.value for c in a] == [c.value for c in b]
+
+    def test_workload_time_ordered(self, app):
+        contexts = app.generate_workload(0.2, seed=5, duration=60.0)
+        times = [c.timestamp for c in contexts]
+        assert times == sorted(times)
+
+    def test_error_rate_reflected(self, app):
+        contexts = app.generate_workload(0.4, seed=5, duration=300.0)
+        rate = sum(c.corrupted for c in contexts) / len(contexts)
+        assert 0.3 < rate < 0.5
+
+    def test_both_context_types_present(self, app):
+        contexts = app.generate_workload(0.1, seed=5, duration=60.0)
+        types = {c.ctx_type for c in contexts}
+        assert types == {"location", "badge"}
+
+    def test_lifespan_applied(self, app):
+        contexts = app.generate_workload(0.1, seed=5, duration=30.0, lifespan=45.0)
+        assert all(c.lifespan == 45.0 for c in contexts)
+
+
+class TestForwardingController:
+    def test_routing_decisions(self):
+        controller = ForwardingController(subject="peter")
+        controller.on_context(badge("a", "office-2", 1.0))
+        assert controller.target == "desk-phone"
+        controller.on_context(badge("b", "meeting", 2.0))
+        assert controller.target == "voicemail"
+        controller.on_context(badge("c", "corridor", 3.0))
+        assert controller.target == "reception"
+        assert len(controller.decisions) == 3
+
+    def test_ignores_other_subjects_and_types(self):
+        controller = ForwardingController(subject="peter")
+        controller.on_context(badge("a", "office-2", 1.0, subject="alice"))
+        controller.on_context(loc("l", (0.0, 0.0), 1.0))
+        assert controller.decisions == []
+
+    def test_no_duplicate_decisions(self):
+        controller = ForwardingController(subject="peter")
+        controller.on_context(badge("a", "office-2", 1.0))
+        controller.on_context(badge("b", "office-2", 2.0))
+        assert len(controller.decisions) == 1

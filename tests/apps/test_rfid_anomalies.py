@@ -1,0 +1,126 @@
+"""Unit tests for the RFID data anomalies application bundle."""
+
+import random
+
+import pytest
+
+from repro.apps.rfid_anomalies import FLOW_RANK, READ_PERIOD, RFIDAnomaliesApp
+from repro.core.context import Context
+
+
+@pytest.fixture(scope="module")
+def app():
+    return RFIDAnomaliesApp()
+
+
+def read(ctx_id, zone, t, tag="tag-001"):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="rfid_read",
+        subject=tag,
+        value=zone,
+        timestamp=float(t),
+    )
+
+
+class TestConstraints:
+    def test_five_constraints(self, app):
+        constraints = app.build_constraints()
+        assert len(constraints) == 5
+
+    def test_single_location_violation(self, app):
+        checker = app.build_checker()
+        a = read("a", "dock", 10.0)
+        b = read("b", "checkout", 10.2)  # same instant, far zones
+        incs = checker.detect(b, [a], now=10.2)
+        assert any(i.constraint == "rf-single-location" for i in incs)
+
+    def test_adjacent_zones_compatible(self, app):
+        checker = app.build_checker()
+        a = read("a", "dock", 10.0)
+        b = read("b", "staging", 10.2)
+        incs = checker.detect(b, [a], now=10.2)
+        assert all(i.constraint != "rf-single-location" for i in incs)
+
+    def test_no_teleport_violation(self, app):
+        checker = app.build_checker()
+        a = read("a", "dock", 10.0)
+        b = read("b", "checkout", 10.0 + READ_PERIOD)
+        incs = checker.detect(b, [a], now=b.timestamp)
+        assert any(i.constraint == "rf-no-teleport" for i in incs)
+
+    def test_flow_order_violation(self, app):
+        checker = app.build_checker()
+        a = read("a", "shelf-C", 10.0)
+        b = read("b", "staging", 10.0 + READ_PERIOD)  # backwards
+        incs = checker.detect(b, [a], now=b.timestamp)
+        assert any(i.constraint == "rf-flow-order" for i in incs)
+
+    def test_no_reappear_after_checkout(self, app):
+        checker = app.build_checker()
+        out = read("a", "checkout", 10.0)
+        ghost = read("b", "shelf-A", 30.0)
+        incs = checker.detect(ghost, [out], now=30.0)
+        assert any(i.constraint == "rf-no-reappear" for i in incs)
+
+    def test_checkout_provenance_existential(self, app):
+        checker = app.build_checker()
+        lone_checkout = read("a", "checkout", 10.0)
+        incs = checker.detect(lone_checkout, [], now=10.0)
+        assert any(i.constraint == "rf-checkout-provenance" for i in incs)
+        # With an earlier shelf read the checkout is clean.
+        shelf = read("s", "shelf-A", 5.0)
+        checker2 = app.build_checker()
+        incs2 = checker2.detect(
+            read("b", "checkout", 10.0, tag="tag-001"), [shelf], now=10.0
+        )
+        assert all(
+            i.constraint != "rf-checkout-provenance" for i in incs2
+        )
+
+    def test_different_tags_never_conflict(self, app):
+        checker = app.build_checker()
+        a = read("a", "dock", 10.0, tag="tag-001")
+        b = read("b", "checkout", 10.2, tag="tag-002")
+        incs = checker.detect(b, [a], now=10.2)
+        assert all(i.constraint != "rf-single-location" for i in incs)
+
+
+class TestFlowRank:
+    def test_monotone_along_intended_flow(self, app):
+        flow = app.item_flow(random.Random(1))
+        ranks = [FLOW_RANK[z] for z in flow]
+        assert ranks == sorted(ranks)
+        assert flow[0] == "dock"
+        assert flow[-1] == "checkout"
+
+
+class TestSituations:
+    def test_three_situations(self, app):
+        assert len(app.build_situations()) == 3
+
+
+class TestWorkload:
+    def test_deterministic(self, app):
+        a = app.generate_workload(0.2, seed=9, items=4)
+        b = app.generate_workload(0.2, seed=9, items=4)
+        assert [c.value for c in a] == [c.value for c in b]
+
+    def test_time_ordered_multi_item(self, app):
+        contexts = app.generate_workload(0.2, seed=9, items=4)
+        times = [c.timestamp for c in contexts]
+        assert times == sorted(times)
+        assert len({c.subject for c in contexts}) == 4
+
+    def test_error_rate_reflected(self, app):
+        contexts = app.generate_workload(0.3, seed=9, items=20)
+        rate = sum(c.corrupted for c in contexts) / len(contexts)
+        assert 0.2 < rate < 0.4
+
+    def test_zero_error_rate_clean_flow(self, app):
+        contexts = app.generate_workload(0.0, seed=9, items=3)
+        assert not any(c.corrupted for c in contexts)
+        checker = app.build_checker()
+        incs = checker.check_all(contexts, now=contexts[-1].timestamp)
+        # Rule 1: expected contexts alone form no inconsistency.
+        assert incs == []

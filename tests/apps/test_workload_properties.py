@@ -1,0 +1,62 @@
+"""Property tests over the application workload generators.
+
+For any seed and error rate, every generator must produce a stream
+that is time-ordered, correctly ground-truth-flagged at roughly the
+requested rate, and free of false inconsistencies when the rate is
+zero (Heuristic Rule 1 by construction).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.call_forwarding import CallForwardingApp
+from repro.apps.rfid_anomalies import RFIDAnomaliesApp
+from repro.apps.smart_phone import SmartPhoneApp
+
+APPS = {
+    "call-forwarding": (
+        CallForwardingApp(),
+        {"duration": 120.0},
+    ),
+    "rfid": (RFIDAnomaliesApp(), {"items": 5}),
+    "smart-phone": (SmartPhoneApp(), {}),
+}
+
+
+@pytest.mark.parametrize("app_name", sorted(APPS))
+class TestWorkloadProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        err_rate=st.floats(min_value=0.05, max_value=0.45),
+    )
+    def test_stream_well_formed(self, app_name, seed, err_rate):
+        app, kwargs = APPS[app_name]
+        contexts = app.generate_workload(err_rate, seed, **kwargs)
+        assert contexts, "empty workload"
+        # Time-ordered.
+        times = [c.timestamp for c in contexts]
+        assert times == sorted(times)
+        # Unique ids.
+        ids = [c.ctx_id for c in contexts]
+        assert len(set(ids)) == len(ids)
+        # Ground-truth rate in a generous band around the request
+        # (calendar contexts are never corrupted, misses thin streams).
+        sensed = [c for c in contexts if c.ctx_type != "calendar"]
+        rate = sum(c.corrupted for c in sensed) / len(sensed)
+        assert err_rate - 0.2 < rate < err_rate + 0.2
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_zero_error_rate_is_rule1_clean(self, app_name, seed):
+        """With no injected errors, no constraint ever fires."""
+        app, kwargs = APPS[app_name]
+        contexts = app.generate_workload(0.0, seed, **kwargs)
+        assert not any(c.corrupted for c in contexts)
+        checker = app.build_checker()
+        incs = checker.check_all(contexts, now=contexts[-1].timestamp)
+        assert incs == [], [
+            (i.constraint, sorted(c.ctx_id for c in i.contexts))
+            for i in incs[:3]
+        ]

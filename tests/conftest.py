@@ -1,0 +1,45 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.context import Context
+
+
+_COUNTER = itertools.count(1)
+
+
+def make_context(
+    ctx_id=None,
+    ctx_type="location",
+    subject="peter",
+    value=(0.0, 0.0),
+    timestamp=0.0,
+    lifespan=float("inf"),
+    source="test",
+    corrupted=False,
+    attributes=(),
+):
+    """A context with sensible defaults for unit tests."""
+    if ctx_id is None:
+        ctx_id = f"t-{next(_COUNTER)}"
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type=ctx_type,
+        subject=subject,
+        value=value,
+        timestamp=timestamp,
+        lifespan=lifespan,
+        source=source,
+        corrupted=corrupted,
+        attributes=attributes,
+    )
+
+
+@pytest.fixture
+def mk():
+    """Factory fixture: ``mk(ctx_id=..., ...)`` builds test contexts."""
+    return make_context

@@ -1,0 +1,100 @@
+"""Unit tests for the predicate registry and standard predicates."""
+
+import pytest
+
+from repro.constraints.builtins import FunctionRegistry, standard_registry
+
+
+@pytest.fixture
+def registry():
+    return standard_registry()
+
+
+class TestFunctionRegistry:
+    def test_register_and_resolve(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda: True)
+        assert registry.resolve("f")() is True
+        assert "f" in registry
+
+    def test_decorator_form(self):
+        registry = FunctionRegistry()
+
+        @registry.register("g")
+        def g():
+            return False
+
+        assert registry.resolve("g") is g
+
+    def test_duplicate_rejected(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda: True)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("f", lambda: False)
+
+    def test_replace_overwrites(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda: True)
+        registry.replace("f", lambda: False)
+        assert registry.resolve("f")() is False
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown predicate"):
+            FunctionRegistry().resolve("ghost")
+
+
+class TestStandardPredicates:
+    def test_subject_and_identity(self, registry, mk):
+        a = mk(ctx_id="a", subject="peter")
+        b = mk(ctx_id="b", subject="peter")
+        c = mk(ctx_id="c", subject="alice")
+        assert registry.resolve("same_subject")(a, b)
+        assert not registry.resolve("same_subject")(a, c)
+        assert registry.resolve("distinct")(a, b)
+        assert not registry.resolve("distinct")(a, a)
+
+    def test_temporal_predicates(self, registry, mk):
+        early = mk(timestamp=1.0)
+        late = mk(timestamp=4.0)
+        assert registry.resolve("before")(early, late)
+        assert not registry.resolve("before")(late, early)
+        assert registry.resolve("after")(late, early)
+        assert registry.resolve("within_time")(early, late, 3.0)
+        assert not registry.resolve("within_time")(early, late, 2.9)
+
+    def test_older_than_uses_registry_now(self, registry, mk):
+        ctx = mk(timestamp=10.0)
+        registry.now = 15.0
+        assert registry.resolve("older_than")(ctx, 4.0)
+        assert not registry.resolve("older_than")(ctx, 5.0)
+
+    def test_spatial_predicates(self, registry, mk):
+        a = mk(value=(0.0, 0.0))
+        b = mk(value=(3.0, 4.0))
+        assert registry.resolve("distance_le")(a, b, 5.0)
+        assert not registry.resolve("distance_le")(a, b, 4.9)
+        assert registry.resolve("distance_ge")(a, b, 5.0)
+
+    def test_velocity(self, registry, mk):
+        a = mk(value=(0.0, 0.0), timestamp=0.0)
+        b = mk(value=(3.0, 0.0), timestamp=2.0)
+        assert registry.resolve("velocity_le")(a, b, 1.5)
+        assert not registry.resolve("velocity_le")(a, b, 1.4)
+
+    def test_velocity_zero_dt(self, registry, mk):
+        a = mk(value=(0.0, 0.0), timestamp=1.0)
+        b = mk(value=(0.0, 0.0), timestamp=1.0)
+        far = mk(value=(9.0, 0.0), timestamp=1.0)
+        assert registry.resolve("velocity_le")(a, b, 1.0)
+        assert not registry.resolve("velocity_le")(a, far, 1.0)
+
+    def test_value_predicates(self, registry, mk):
+        ctx = mk(value="dock", attributes=(("floor", 2),))
+        assert registry.resolve("value_eq")(ctx, "dock")
+        assert registry.resolve("value_in")(ctx, ["dock", "staging"])
+        assert registry.resolve("attr_eq")(ctx, "floor", 2)
+        assert registry.resolve("attr_ne")(ctx, "floor", 3)
+
+    def test_constants(self, registry):
+        assert registry.resolve("true")()
+        assert not registry.resolve("false")()

@@ -1,0 +1,125 @@
+"""Unit tests for the constraint checker (detector interface)."""
+
+import pytest
+
+from repro.constraints.checker import ConstraintChecker
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+
+
+def velocity():
+    return parse_constraint(
+        "velocity",
+        "forall l1 in location, forall l2 in location : "
+        "(same_subject(l1, l2) and before(l1, l2)) "
+        "implies velocity_le(l1, l2, 1.5)",
+    )
+
+
+def feasible():
+    return parse_constraint(
+        "feasible", "forall l in location : velocity_le(l, l, 1.0)"
+    )
+
+
+def _loc(ctx_id, x, t, subject="p"):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="location",
+        subject=subject,
+        value=(float(x), 0.0),
+        timestamp=float(t),
+    )
+
+
+class TestRelevance:
+    def test_relevant_type(self, mk):
+        checker = ConstraintChecker([velocity()])
+        assert checker.is_relevant(mk(ctx_type="location"))
+        assert not checker.is_relevant(mk(ctx_type="temperature"))
+
+    def test_relevance_grows_with_constraints(self, mk):
+        checker = ConstraintChecker([velocity()])
+        assert not checker.is_relevant(mk(ctx_type="badge"))
+        checker.add_constraint(
+            parse_constraint("badge-c", "forall b in badge : true()")
+        )
+        assert checker.is_relevant(mk(ctx_type="badge"))
+
+
+class TestConstraintManagement:
+    def test_duplicate_names_rejected(self):
+        checker = ConstraintChecker([velocity()])
+        with pytest.raises(ValueError, match="already added"):
+            checker.add_constraint(velocity())
+
+    def test_constraints_listing_sorted(self):
+        checker = ConstraintChecker([velocity(), feasible()])
+        assert [c.name for c in checker.constraints()] == [
+            "feasible",
+            "velocity",
+        ]
+        assert checker.constraint("velocity").name == "velocity"
+
+
+class TestDetection:
+    def test_detects_only_violations_involving_new_context(self):
+        checker = ConstraintChecker([velocity()])
+        a = _loc("a", 0.0, 0.0)
+        b = _loc("b", 9.0, 1.0)  # violates with a
+        c = _loc("c", 9.5, 2.0)  # fine with b, violates with a
+        assert checker.detect(a, [], now=0.0) == []
+        incs_b = checker.detect(b, [a], now=1.0)
+        assert [sorted(x.ctx_id for x in i.contexts) for i in incs_b] == [
+            ["a", "b"]
+        ]
+        incs_c = checker.detect(c, [a, b], now=2.0)
+        assert [sorted(x.ctx_id for x in i.contexts) for i in incs_c] == [
+            ["a", "c"]
+        ]
+
+    def test_inconsistency_carries_constraint_and_time(self):
+        checker = ConstraintChecker([velocity()])
+        a = _loc("a", 0.0, 0.0)
+        b = _loc("b", 9.0, 1.0)
+        (inc,) = checker.detect(b, [a], now=1.0)
+        assert inc.constraint == "velocity"
+        assert inc.detected_at == 1.0
+
+    def test_multiple_constraints_report_separately(self):
+        checker = ConstraintChecker([velocity(), feasible()])
+        a = _loc("a", 0.0, 0.0)
+        b = _loc("b", 9.0, 1.0)
+        checker.detect(a, [], now=0.0)
+        incs = checker.detect(b, [a], now=1.0)
+        assert sorted(i.constraint for i in incs) == ["velocity"]
+
+    def test_registry_now_updated(self):
+        checker = ConstraintChecker([velocity()])
+        checker.detect(_loc("a", 0.0, 0.0), [], now=42.0)
+        assert checker.registry.now == 42.0
+
+    def test_detect_counts_calls(self):
+        checker = ConstraintChecker([velocity()])
+        checker.detect(_loc("a", 0.0, 0.0), [], now=0.0)
+        checker.detect(_loc("b", 1.0, 1.0), [], now=1.0)
+        assert checker.detect_calls == 2
+
+
+class TestCheckAll:
+    def test_reports_every_current_violation(self):
+        checker = ConstraintChecker([velocity()])
+        contexts = [
+            _loc("d2", 1.0, 1.0),
+            _loc("d3", 9.0, 2.0),
+            _loc("d4", 2.0, 3.0),
+        ]
+        incs = checker.check_all(contexts, now=3.0)
+        found = {
+            tuple(sorted(c.ctx_id for c in inc.contexts)) for inc in incs
+        }
+        assert found == {("d2", "d3"), ("d3", "d4")}
+
+    def test_empty_pool(self):
+        checker = ConstraintChecker([velocity()])
+        assert checker.check_all([], now=0.0) == []

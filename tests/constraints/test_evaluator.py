@@ -1,0 +1,210 @@
+"""Unit tests for formula evaluation with link generation."""
+
+import pytest
+
+from repro.constraints.ast import (
+    And,
+    Constraint,
+    Implies,
+    Not,
+    Or,
+    exists,
+    forall,
+    pred,
+)
+from repro.constraints.builtins import standard_registry
+from repro.constraints.evaluator import Evaluator
+from repro.constraints.links import Link
+
+
+@pytest.fixture
+def evaluator():
+    return Evaluator(standard_registry())
+
+
+def domain_of(*contexts):
+    by_type = {}
+    for ctx in contexts:
+        by_type.setdefault(ctx.ctx_type, []).append(ctx)
+    return lambda t: by_type.get(t, ())
+
+
+class TestPredicates:
+    def test_true_predicate_yields_sat_link(self, evaluator, mk):
+        a = mk(timestamp=1.0)
+        b = mk(timestamp=2.0)
+        result = evaluator.evaluate(
+            pred("before", "x", "y"), domain_of(), {"x": a, "y": b}
+        )
+        assert result.value
+        assert result.sat_links == frozenset({Link.of(x=a, y=b)})
+        assert result.vio_links == frozenset()
+
+    def test_false_predicate_yields_vio_link(self, evaluator, mk):
+        a = mk(timestamp=2.0)
+        b = mk(timestamp=1.0)
+        result = evaluator.evaluate(
+            pred("before", "x", "y"), domain_of(), {"x": a, "y": b}
+        )
+        assert not result.value
+        assert result.vio_links == frozenset({Link.of(x=a, y=b)})
+
+    def test_unbound_variable(self, evaluator):
+        with pytest.raises(NameError, match="unbound variable"):
+            evaluator.evaluate(pred("before", "x", "y"), domain_of(), {})
+
+
+class TestConnectives:
+    def test_not_swaps_links(self, evaluator, mk):
+        a, b = mk(timestamp=1.0), mk(timestamp=2.0)
+        inner = pred("before", "x", "y")
+        result = evaluator.evaluate(Not(inner), domain_of(), {"x": a, "y": b})
+        assert not result.value
+        assert result.vio_links == frozenset({Link.of(x=a, y=b)})
+
+    def test_and_violation_blames_failed_conjunct(self, evaluator, mk):
+        a, b = mk(timestamp=1.0), mk(timestamp=2.0)
+        formula = And(pred("before", "x", "y"), pred("false"))
+        result = evaluator.evaluate(formula, domain_of(), {"x": a, "y": b})
+        assert not result.value
+        # Only the failed conjunct (false()) explains the violation.
+        assert result.vio_links == frozenset({Link(frozenset())})
+
+    def test_and_satisfaction_cross_joins(self, evaluator, mk):
+        a, b = mk(timestamp=1.0), mk(timestamp=2.0)
+        formula = And(pred("before", "x", "y"), pred("distinct", "x", "y"))
+        result = evaluator.evaluate(formula, domain_of(), {"x": a, "y": b})
+        assert result.value
+        assert result.sat_links == frozenset({Link.of(x=a, y=b)})
+
+    def test_or_violation_cross_joins(self, evaluator, mk):
+        a = mk(timestamp=2.0)
+        b = mk(timestamp=1.0)
+        formula = Or(pred("before", "x", "y"), pred("false"))
+        result = evaluator.evaluate(formula, domain_of(), {"x": a, "y": b})
+        assert not result.value
+        assert result.vio_links == frozenset({Link.of(x=a, y=b)})
+
+    def test_implies_vacuous_truth(self, evaluator, mk):
+        a, b = mk(timestamp=2.0), mk(timestamp=1.0)
+        formula = Implies(pred("before", "x", "y"), pred("false"))
+        result = evaluator.evaluate(formula, domain_of(), {"x": a, "y": b})
+        assert result.value
+
+    def test_implies_violation_joins_premise_and_conclusion(
+        self, evaluator, mk
+    ):
+        a = mk(ctx_id="a", timestamp=1.0, value=(0.0, 0.0))
+        b = mk(ctx_id="b", timestamp=2.0, value=(9.0, 0.0))
+        formula = Implies(
+            pred("before", "x", "y"), pred("velocity_le", "x", "y", 1.5)
+        )
+        result = evaluator.evaluate(formula, domain_of(), {"x": a, "y": b})
+        assert not result.value
+        assert result.vio_links == frozenset({Link.of(x=a, y=b)})
+
+
+class TestQuantifiers:
+    def test_universal_violations_name_culprits(self, evaluator, mk):
+        """The running example: violating pairs become violation links."""
+        d2 = mk(ctx_id="d2", timestamp=2.0, value=(1.0, 0.0))
+        d3 = mk(ctx_id="d3", timestamp=3.0, value=(9.0, 0.0))
+        constraint = Constraint(
+            "velocity",
+            forall(
+                "l1",
+                "location",
+                forall(
+                    "l2",
+                    "location",
+                    Implies(
+                        pred("before", "l1", "l2"),
+                        pred("velocity_le", "l1", "l2", 1.5),
+                    ),
+                ),
+            ),
+        )
+        violations = evaluator.violations(constraint, domain_of(d2, d3))
+        assert violations == [frozenset({d2, d3})]
+
+    def test_satisfied_universal_has_no_violations(self, evaluator, mk):
+        d1 = mk(timestamp=1.0, value=(0.0, 0.0))
+        d2 = mk(timestamp=2.0, value=(1.0, 0.0))
+        constraint = Constraint(
+            "velocity",
+            forall(
+                "l1",
+                "location",
+                forall(
+                    "l2",
+                    "location",
+                    Implies(
+                        pred("before", "l1", "l2"),
+                        pred("velocity_le", "l1", "l2", 1.5),
+                    ),
+                ),
+            ),
+        )
+        assert evaluator.violations(constraint, domain_of(d1, d2)) == []
+
+    def test_universal_over_empty_domain_is_true(self, evaluator):
+        result = evaluator.evaluate(
+            forall("x", "location", pred("false")), domain_of(), {}
+        )
+        assert result.value
+
+    def test_existential_witness_links(self, evaluator, mk):
+        a = mk(ctx_id="a", timestamp=1.0)
+        target = mk(ctx_id="t", timestamp=5.0)
+        formula = exists("r", "location", pred("before", "r", "t"))
+        result = evaluator.evaluate(
+            formula, domain_of(a, target), {"t": target}
+        )
+        assert result.value
+        assert any(link.involves(a) for link in result.sat_links)
+
+    def test_violated_existential_yields_empty_link(self, evaluator, mk):
+        """A failed exists blames the enclosing binding, not the pool."""
+        late = mk(ctx_id="late", timestamp=9.0)
+        target = mk(ctx_id="t", timestamp=5.0)
+        formula = exists("r", "location", pred("before", "r", "t"))
+        result = evaluator.evaluate(
+            formula, domain_of(late, target), {"t": target}
+        )
+        assert not result.value
+        assert result.vio_links == frozenset({Link(frozenset())})
+
+    def test_existential_over_empty_domain_is_false(self, evaluator):
+        result = evaluator.evaluate(
+            exists("x", "location", pred("true")), domain_of(), {}
+        )
+        assert not result.value
+
+
+class TestViolationsAPI:
+    def test_empty_links_are_skipped(self, evaluator, mk):
+        constraint = Constraint(
+            "impossible", exists("x", "location", pred("false"))
+        )
+        ctx = mk()
+        # Violated, but no context set is to blame.
+        assert evaluator.violations(constraint, domain_of(ctx)) == []
+
+    def test_duplicate_context_sets_deduped(self, evaluator, mk):
+        a = mk(ctx_id="a", timestamp=2.0)
+        b = mk(ctx_id="b", timestamp=2.0)
+        constraint = Constraint(
+            "strict-order",
+            forall(
+                "x",
+                "location",
+                forall(
+                    "y",
+                    "location",
+                    Implies(pred("distinct", "x", "y"), pred("before", "x", "y")),
+                ),
+            ),
+        )
+        violations = evaluator.violations(constraint, domain_of(a, b))
+        # (a,b) and (b,a) both violate but name the same context set.
+        assert violations == [frozenset({a, b})]

@@ -1,0 +1,166 @@
+"""Property tests: the link-generating evaluator against a naive
+reference interpreter.
+
+The reference interpreter computes only truth values, with the obvious
+semantics and none of the link machinery; hypothesis generates random
+quantified formulas and random context pools and checks the two agree.
+A second property ties links to truth: a false universal must name
+exactly the violating contexts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.ast import (
+    And,
+    Existential,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    Universal,
+    Var,
+)
+from repro.constraints.builtins import standard_registry
+from repro.constraints.evaluator import Evaluator
+from repro.core.context import Context
+
+
+def reference_eval(formula, domain, env, registry):
+    """Truth-only reference semantics."""
+    if isinstance(formula, Predicate):
+        fn = registry.resolve(formula.func)
+        args = [
+            env[a.name] if isinstance(a, Var) else a.value
+            for a in formula.args
+        ]
+        return bool(fn(*args))
+    if isinstance(formula, Not):
+        return not reference_eval(formula.operand, domain, env, registry)
+    if isinstance(formula, And):
+        return reference_eval(
+            formula.left, domain, env, registry
+        ) and reference_eval(formula.right, domain, env, registry)
+    if isinstance(formula, Or):
+        return reference_eval(
+            formula.left, domain, env, registry
+        ) or reference_eval(formula.right, domain, env, registry)
+    if isinstance(formula, Implies):
+        return not reference_eval(
+            formula.left, domain, env, registry
+        ) or reference_eval(formula.right, domain, env, registry)
+    if isinstance(formula, Universal):
+        return all(
+            reference_eval(
+                formula.body, domain, {**env, formula.var: element}, registry
+            )
+            for element in domain(formula.ctx_type)
+        )
+    if isinstance(formula, Existential):
+        return any(
+            reference_eval(
+                formula.body, domain, {**env, formula.var: element}, registry
+            )
+            for element in domain(formula.ctx_type)
+        )
+    raise TypeError(formula)
+
+
+_TYPES = ["location", "badge"]
+_VARS = ("x", "y")
+
+
+def _bodies(bound_vars):
+    """Connective trees over predicates of the bound variables."""
+    leaves = [Predicate("true", ()), Predicate("false", ())]
+    for name in bound_vars:
+        leaves.append(Predicate("is_even", (Var(name),)))
+        for other in bound_vars:
+            leaves.append(Predicate("before", (Var(name), Var(other))))
+    leaf = st.sampled_from(leaves)
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Implies, children, children),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=6)
+
+
+@st.composite
+def closed_formulas(draw):
+    """One or two quantifiers over a random connective body."""
+    depth = draw(st.integers(min_value=1, max_value=2))
+    bound = _VARS[:depth]
+    formula = draw(_bodies(bound))
+    for var in reversed(bound):
+        quantifier = Universal if draw(st.booleans()) else Existential
+        ctx_type = draw(st.sampled_from(_TYPES))
+        formula = quantifier(var, ctx_type, formula)
+    return formula
+
+
+def _pool(values):
+    contexts = [
+        Context(
+            ctx_id=f"p{i}",
+            ctx_type=_TYPES[i % 2],
+            subject="s",
+            value=v,
+            timestamp=float(v),
+        )
+        for i, v in enumerate(values)
+    ]
+    by_type = {}
+    for ctx in contexts:
+        by_type.setdefault(ctx.ctx_type, []).append(ctx)
+    return lambda t: by_type.get(t, ())
+
+
+def _registry():
+    registry = standard_registry()
+    registry.replace("is_even", lambda c: int(c.value) % 2 == 0)
+    return registry
+
+
+@settings(max_examples=250, deadline=None)
+@given(
+    formula=closed_formulas(),
+    values=st.lists(
+        st.integers(min_value=0, max_value=9), min_size=0, max_size=6
+    ),
+)
+def test_evaluator_truth_matches_reference(formula, values):
+    registry = _registry()
+    evaluator = Evaluator(registry)
+    domain = _pool(values)
+    assert (
+        evaluator.evaluate(formula, domain).value
+        == reference_eval(formula, domain, {}, registry)
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=9), min_size=1, max_size=6
+    )
+)
+def test_false_universal_yields_named_culprits(values):
+    """Whenever 'forall x: is_even(x)' is false, exactly the odd
+    contexts are named by violation links."""
+    registry = _registry()
+    evaluator = Evaluator(registry)
+    domain = _pool(values)
+    formula = Universal("x", "location", Predicate("is_even", (Var("x"),)))
+    result = evaluator.evaluate(formula, domain)
+    odd = {c for c in domain("location") if int(c.value) % 2 == 1}
+    if odd:
+        assert not result.value
+        named = {c for link in result.vio_links for c in link.contexts()}
+        assert named == odd
+    else:
+        assert result.value

@@ -1,0 +1,56 @@
+"""Unit tests for links (violation/satisfaction explanations)."""
+
+from repro.constraints.links import EMPTY_LINK, Link, cross_join
+
+
+class TestLink:
+    def test_of_and_contexts(self, mk):
+        a, b = mk(ctx_id="a"), mk(ctx_id="b")
+        link = Link.of(p1=a, p2=b)
+        assert link.contexts() == {a, b}
+        assert link.involves(a)
+        assert not link.involves(mk(ctx_id="c"))
+
+    def test_equality_ignores_construction_order(self, mk):
+        a, b = mk(ctx_id="a"), mk(ctx_id="b")
+        assert Link.of(x=a, y=b) == Link.of(y=b, x=a)
+
+    def test_merge_and_extend(self, mk):
+        a, b, c = mk(ctx_id="a"), mk(ctx_id="b"), mk(ctx_id="c")
+        merged = Link.of(x=a).merge(Link.of(y=b))
+        assert merged.as_dict() == {"x": a, "y": b}
+        extended = merged.extend("z", c)
+        assert len(extended) == 3
+
+    def test_same_context_under_two_vars(self, mk):
+        a = mk(ctx_id="a")
+        link = Link.of(x=a, y=a)
+        assert len(link) == 2
+        assert link.contexts() == {a}
+
+    def test_empty_link(self):
+        assert len(EMPTY_LINK) == 0
+        assert EMPTY_LINK.contexts() == frozenset()
+
+
+class TestCrossJoin:
+    def test_pairwise_merge(self, mk):
+        a, b, c = mk(ctx_id="a"), mk(ctx_id="b"), mk(ctx_id="c")
+        left = [Link.of(x=a), Link.of(x=b)]
+        right = [Link.of(y=c)]
+        joined = cross_join(left, right)
+        assert joined == frozenset(
+            {Link.of(x=a, y=c), Link.of(x=b, y=c)}
+        )
+
+    def test_empty_side_passes_other_through(self, mk):
+        a = mk(ctx_id="a")
+        links = [Link.of(x=a)]
+        assert cross_join(links, []) == frozenset(links)
+        assert cross_join([], links) == frozenset(links)
+
+    def test_join_with_empty_link_is_identity(self, mk):
+        a = mk(ctx_id="a")
+        assert cross_join([Link.of(x=a)], [EMPTY_LINK]) == frozenset(
+            {Link.of(x=a)}
+        )

@@ -1,0 +1,154 @@
+"""Unit tests for the constraint DSL parser."""
+
+import pytest
+
+from repro.constraints.ast import (
+    And,
+    Existential,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Universal,
+    Var,
+)
+from repro.constraints.parser import ParseError, parse_constraint, parse_formula
+
+
+class TestAtoms:
+    def test_nullary_predicate(self):
+        assert parse_formula("true()") == Predicate("true", ())
+
+    def test_predicate_with_terms(self):
+        f = parse_formula("velocity_le(l1, l2, 1.5)")
+        assert f == Predicate(
+            "velocity_le", (Var("l1"), Var("l2"), Literal(1.5))
+        )
+
+    def test_integer_and_float_literals(self):
+        f = parse_formula("f(x, 3, 2.5, -1, 1e3)")
+        assert f.args[1] == Literal(3)
+        assert isinstance(f.args[1].value, int)
+        assert f.args[2] == Literal(2.5)
+        assert f.args[3] == Literal(-1)
+        assert f.args[4] == Literal(1000.0)
+
+    def test_string_literals(self):
+        f = parse_formula("attr_eq(x, 'zone', \"dock\")")
+        assert f.args[1] == Literal("zone")
+        assert f.args[2] == Literal("dock")
+
+
+class TestConnectives:
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_formula("a() or b() and c()")
+        assert isinstance(f, Or)
+        assert isinstance(f.right, And)
+
+    def test_implies_binds_weakest(self):
+        f = parse_formula("a() and b() implies c() or d()")
+        assert isinstance(f, Implies)
+        assert isinstance(f.left, And)
+        assert isinstance(f.right, Or)
+
+    def test_not_binds_tightest(self):
+        f = parse_formula("not a() and b()")
+        assert isinstance(f, And)
+        assert isinstance(f.left, Not)
+
+    def test_double_negation(self):
+        f = parse_formula("not not a()")
+        assert isinstance(f, Not)
+        assert isinstance(f.operand, Not)
+
+    def test_parentheses_override(self):
+        f = parse_formula("not (a() and b())")
+        assert isinstance(f, Not)
+        assert isinstance(f.operand, And)
+
+    def test_implies_right_associative(self):
+        f = parse_formula("a() implies b() implies c()")
+        assert isinstance(f, Implies)
+        assert isinstance(f.right, Implies)
+
+
+class TestQuantifiers:
+    def test_forall(self):
+        f = parse_formula("forall l in location : ok(l)")
+        assert f == Universal("l", "location", Predicate("ok", (Var("l"),)))
+
+    def test_exists(self):
+        f = parse_formula("exists r in rfid_read : is_shelf(r)")
+        assert isinstance(f, Existential)
+
+    def test_comma_chained_quantifiers(self):
+        f = parse_formula(
+            "forall a in t1, forall b in t2 : rel(a, b)"
+        )
+        assert isinstance(f, Universal)
+        assert isinstance(f.body, Universal)
+        assert f.body.ctx_type == "t2"
+
+    def test_quantifier_body_extends_right(self):
+        f = parse_formula("forall a in t : p(a) implies q(a)")
+        assert isinstance(f, Universal)
+        assert isinstance(f.body, Implies)
+
+    def test_nested_quantifier_in_consequent(self):
+        f = parse_formula(
+            "forall a in t : p(a) implies (exists b in t : q(a, b))"
+        )
+        assert isinstance(f.body.right, Existential)
+
+    def test_comma_requires_quantifier(self):
+        with pytest.raises(ParseError):
+            parse_formula("forall a in t, p(a)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "f(",
+            "f(x))",
+            "forall in t : f(x)",
+            "forall a t : f(a)",
+            "f(x) g(x)",
+            "@bad",
+            "f(,)",
+        ],
+    )
+    def test_bad_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+    def test_error_mentions_offset(self):
+        with pytest.raises(ParseError, match="offset"):
+            parse_formula("forall a in t :")
+
+
+class TestParseConstraint:
+    def test_builds_named_closed_constraint(self):
+        c = parse_constraint(
+            "velocity",
+            "forall l1 in location, forall l2 in location : "
+            "velocity_le(l1, l2, 1.5)",
+            description="running example",
+        )
+        assert c.name == "velocity"
+        assert c.relevant_types() == {"location"}
+        assert c.description == "running example"
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(ValueError, match="free variables"):
+            parse_constraint("bad", "ok(l)")
+
+    def test_roundtrip_with_app_constraints(self):
+        """The application modules' DSL strings must all parse."""
+        from repro.apps.call_forwarding import CallForwardingApp
+        from repro.apps.rfid_anomalies import RFIDAnomaliesApp
+
+        assert len(CallForwardingApp().build_constraints()) == 5
+        assert len(RFIDAnomaliesApp().build_constraints()) == 5

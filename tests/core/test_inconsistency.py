@@ -1,0 +1,167 @@
+"""Unit tests for inconsistencies and the tracked set Δ."""
+
+import pytest
+
+from repro.core.inconsistency import Inconsistency, TrackedInconsistencies
+
+
+def inc(*contexts, constraint="c", at=0.0):
+    return Inconsistency(frozenset(contexts), constraint=constraint, detected_at=at)
+
+
+class TestInconsistency:
+    def test_requires_contexts(self):
+        with pytest.raises(ValueError):
+            Inconsistency(frozenset())
+
+    def test_involves(self, mk):
+        a, b, c = mk(), mk(), mk()
+        i = inc(a, b)
+        assert i.involves(a) and i.involves(b)
+        assert not i.involves(c)
+
+    def test_key_identity_ignores_detection_time(self, mk):
+        a, b = mk(ctx_id="a"), mk(ctx_id="b")
+        assert inc(a, b, at=1.0).key == inc(a, b, at=9.0).key
+        assert inc(a, b, constraint="x").key != inc(a, b, constraint="y").key
+
+    def test_latest_context_by_timestamp(self, mk):
+        a = mk(ctx_id="a", timestamp=1.0)
+        b = mk(ctx_id="b", timestamp=3.0)
+        assert inc(a, b).latest_context() is b
+
+    def test_latest_ties_broken_by_id(self, mk):
+        a = mk(ctx_id="a", timestamp=1.0)
+        b = mk(ctx_id="b", timestamp=1.0)
+        assert inc(a, b).latest_context().ctx_id == "b"
+
+    def test_len_and_iter(self, mk):
+        a, b, c = mk(), mk(), mk()
+        i = inc(a, b, c)
+        assert len(i) == 3
+        assert set(i) == {a, b, c}
+
+    def test_accepts_plain_set(self, mk):
+        a, b = mk(), mk()
+        i = Inconsistency({a, b})
+        assert isinstance(i.contexts, frozenset)
+
+
+class TestTrackedInconsistencies:
+    def test_paper_example_counts(self, mk):
+        """Δ = {{d3,d4},{d3,d5}} gives count d3=2, d4=1, d5=1 (Sec 3.2)."""
+        d3, d4, d5 = mk(ctx_id="d3"), mk(ctx_id="d4"), mk(ctx_id="d5")
+        delta = TrackedInconsistencies()
+        delta.add(inc(d3, d4))
+        delta.add(inc(d3, d5))
+        assert delta.counts() == {d3: 2, d4: 1, d5: 1}
+        assert delta.count_of(d3) == 2
+        assert delta.count_of(mk(ctx_id="d1")) == 0
+
+    def test_add_is_idempotent(self, mk):
+        a, b = mk(), mk()
+        delta = TrackedInconsistencies()
+        assert delta.add(inc(a, b))
+        assert not delta.add(inc(a, b))
+        assert len(delta) == 1
+        assert delta.count_of(a) == 1
+
+    def test_remove(self, mk):
+        a, b = mk(), mk()
+        delta = TrackedInconsistencies()
+        i = inc(a, b)
+        delta.add(i)
+        assert delta.remove(i)
+        assert not delta.remove(i)
+        assert len(delta) == 0
+        assert delta.count_of(a) == 0
+        assert delta.counts() == {}
+
+    def test_resolve_involving(self, mk):
+        a, b, c = mk(ctx_id="a"), mk(ctx_id="b"), mk(ctx_id="c")
+        delta = TrackedInconsistencies()
+        delta.add(inc(a, b))
+        delta.add(inc(a, c))
+        delta.add(inc(b, c))
+        resolved = delta.resolve_involving(a)
+        assert len(resolved) == 2
+        assert len(delta) == 1
+        assert delta.count_of(a) == 0
+        assert delta.count_of(b) == 1
+
+    def test_involving(self, mk):
+        a, b, c = mk(), mk(), mk()
+        delta = TrackedInconsistencies()
+        i1, i2 = inc(a, b), inc(b, c)
+        delta.add(i1)
+        delta.add(i2)
+        assert delta.involving(a) == [i1]
+        assert set(x.key for x in delta.involving(b)) == {i1.key, i2.key}
+
+    def test_max_count_contexts(self, mk):
+        d3, d4, d5 = mk(ctx_id="d3"), mk(ctx_id="d4"), mk(ctx_id="d5")
+        delta = TrackedInconsistencies()
+        i1, i2 = inc(d3, d4), inc(d3, d5)
+        delta.add(i1)
+        delta.add(i2)
+        assert delta.max_count_contexts(i1) == [d3]
+
+    def test_max_count_tie_returns_all(self, mk):
+        a, b = mk(ctx_id="a"), mk(ctx_id="b")
+        delta = TrackedInconsistencies()
+        i = inc(a, b)
+        delta.add(i)
+        assert delta.max_count_contexts(i) == [a, b]
+
+    def test_has_largest_count_counts_ties_as_largest(self, mk):
+        a, b = mk(ctx_id="a"), mk(ctx_id="b")
+        delta = TrackedInconsistencies()
+        i = inc(a, b)
+        delta.add(i)
+        assert delta.has_largest_count(a, i)
+        assert delta.has_largest_count(b, i)
+
+    def test_has_largest_count_false_for_non_member(self, mk):
+        a, b, c = mk(), mk(), mk()
+        delta = TrackedInconsistencies()
+        i = inc(a, b)
+        delta.add(i)
+        assert not delta.has_largest_count(c, i)
+
+    def test_counts_are_global_across_delta(self, mk):
+        """Max-count within an inconsistency uses counts over ALL of Δ."""
+        a, b, c = mk(ctx_id="a"), mk(ctx_id="b"), mk(ctx_id="c")
+        delta = TrackedInconsistencies()
+        i1 = inc(a, b)
+        delta.add(i1)
+        delta.add(inc(b, c))
+        # b leads within i1 thanks to its second inconsistency.
+        assert delta.max_count_contexts(i1) == [b]
+        assert not delta.has_largest_count(a, i1)
+
+    def test_snapshot_matches_paper_notation(self, mk):
+        a, b, c = mk(), mk(), mk()
+        delta = TrackedInconsistencies()
+        delta.add(inc(a, b))
+        delta.add(inc(b, c))
+        assert delta.snapshot() == frozenset(
+            {frozenset({a, b}), frozenset({b, c})}
+        )
+
+    def test_contexts_and_clear(self, mk):
+        a, b = mk(), mk()
+        delta = TrackedInconsistencies()
+        delta.add(inc(a, b))
+        assert delta.contexts() == {a, b}
+        delta.clear()
+        assert len(delta) == 0
+        assert delta.contexts() == set()
+
+    def test_contains(self, mk):
+        a, b = mk(), mk()
+        delta = TrackedInconsistencies()
+        i = inc(a, b)
+        delta.add(i)
+        assert i in delta
+        assert inc(a, b, constraint="other") not in delta
+        assert "not an inconsistency" not in delta

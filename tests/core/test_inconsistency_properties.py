@@ -1,0 +1,95 @@
+"""Property tests for the tracked inconsistency set Δ.
+
+The incrementally maintained count index must always agree with a
+from-scratch recount, through any interleaving of add / remove /
+resolve operations.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import Context
+from repro.core.inconsistency import Inconsistency, TrackedInconsistencies
+
+_CONTEXTS = [
+    Context(
+        ctx_id=f"c{i}", ctx_type="t", subject="s", value=i, timestamp=float(i)
+    )
+    for i in range(6)
+]
+
+
+def _inconsistency(member_indices, constraint_index):
+    return Inconsistency(
+        frozenset(_CONTEXTS[i] for i in member_indices),
+        constraint=f"k{constraint_index}",
+    )
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("add"),
+            st.sets(
+                st.integers(min_value=0, max_value=5), min_size=1, max_size=3
+            ),
+            st.integers(min_value=0, max_value=2),
+        ),
+        st.tuples(
+            st.just("remove"),
+            st.sets(
+                st.integers(min_value=0, max_value=5), min_size=1, max_size=3
+            ),
+            st.integers(min_value=0, max_value=2),
+        ),
+        st.tuples(
+            st.just("resolve"),
+            st.integers(min_value=0, max_value=5),
+            st.just(0),
+        ),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_ops)
+def test_counts_always_match_recount(operations):
+    delta = TrackedInconsistencies()
+    shadow = {}  # key -> Inconsistency, the reference model
+
+    for op, arg, constraint_index in operations:
+        if op == "add":
+            inconsistency = _inconsistency(arg, constraint_index)
+            was_new = delta.add(inconsistency)
+            assert was_new == (inconsistency.key not in shadow)
+            shadow[inconsistency.key] = inconsistency
+        elif op == "remove":
+            inconsistency = _inconsistency(arg, constraint_index)
+            removed = delta.remove(inconsistency)
+            assert removed == (inconsistency.key in shadow)
+            shadow.pop(inconsistency.key, None)
+        else:  # resolve
+            ctx = _CONTEXTS[arg]
+            resolved = delta.resolve_involving(ctx)
+            expected = {
+                key
+                for key, inc in shadow.items()
+                if inc.involves(ctx)
+            }
+            assert {inc.key for inc in resolved} == expected
+            for key in expected:
+                del shadow[key]
+
+        # Invariant: incremental counts == recount from scratch.
+        recount = Counter()
+        for inconsistency in shadow.values():
+            for ctx in inconsistency.contexts:
+                recount[ctx] += 1
+        assert delta.counts() == dict(recount)
+        assert len(delta) == len(shadow)
+        assert delta.snapshot() == frozenset(
+            inc.contexts for inc in shadow.values()
+        )

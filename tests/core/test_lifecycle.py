@@ -1,0 +1,127 @@
+"""Unit tests for the four-state context life cycle (Figure 8)."""
+
+import pytest
+
+from repro.core.context import ContextState
+from repro.core.lifecycle import ContextRecord, LifecycleError, LifecycleTracker
+
+
+class TestContextRecord:
+    def test_initial_state_is_undecided(self, mk):
+        record = ContextRecord(context=mk())
+        assert record.state == ContextState.UNDECIDED
+        assert not record.is_decided
+
+    @pytest.mark.parametrize(
+        "target",
+        [ContextState.CONSISTENT, ContextState.BAD, ContextState.INCONSISTENT],
+    )
+    def test_legal_transitions_from_undecided(self, mk, target):
+        record = ContextRecord(context=mk())
+        record.transition(target, at=1.0)
+        assert record.state == target
+
+    def test_bad_to_inconsistent(self, mk):
+        record = ContextRecord(context=mk())
+        record.transition(ContextState.BAD)
+        record.transition(ContextState.INCONSISTENT, at=2.0)
+        assert record.is_discarded
+        assert record.decided_at == 2.0
+
+    def test_consistent_to_inconsistent_allowed_for_baselines(self, mk):
+        """Drop-all revokes admitted contexts (paper Scenario A: d2)."""
+        record = ContextRecord(context=mk())
+        record.transition(ContextState.CONSISTENT)
+        record.transition(ContextState.INCONSISTENT)
+        assert record.is_discarded
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            (ContextState.INCONSISTENT, ContextState.CONSISTENT),
+            (ContextState.INCONSISTENT, ContextState.BAD),
+            (ContextState.CONSISTENT, ContextState.BAD),
+            (ContextState.BAD, ContextState.CONSISTENT),
+        ],
+    )
+    def test_illegal_transitions_raise(self, mk, first, second):
+        record = ContextRecord(context=mk())
+        record.transition(first)
+        with pytest.raises(LifecycleError):
+            record.transition(second)
+
+    def test_self_transition_is_noop(self, mk):
+        record = ContextRecord(context=mk())
+        record.transition(ContextState.BAD)
+        record.transition(ContextState.BAD)
+        assert record.state == ContextState.BAD
+        # No duplicate history entry for the no-op.
+        assert [s for s, _ in record.history] == [
+            ContextState.UNDECIDED,
+            ContextState.BAD,
+        ]
+
+    def test_history_records_times(self, mk):
+        record = ContextRecord(context=mk(), buffered_at=0.5)
+        record.transition(ContextState.BAD, at=1.0)
+        record.transition(ContextState.INCONSISTENT, at=2.0)
+        assert record.history == [
+            (ContextState.UNDECIDED, 0.5),
+            (ContextState.BAD, 1.0),
+            (ContextState.INCONSISTENT, 2.0),
+        ]
+
+    def test_availability(self, mk):
+        record = ContextRecord(context=mk())
+        assert not record.is_available
+        record.transition(ContextState.CONSISTENT)
+        assert record.is_available
+
+
+class TestLifecycleTracker:
+    def test_register_and_lookup(self, mk):
+        tracker = LifecycleTracker()
+        ctx = mk()
+        record = tracker.register(ctx, at=1.0)
+        assert tracker.known(ctx)
+        assert tracker.record_of(ctx) is record
+        assert tracker.state_of(ctx) == ContextState.UNDECIDED
+
+    def test_register_is_idempotent(self, mk):
+        tracker = LifecycleTracker()
+        ctx = mk()
+        first = tracker.register(ctx)
+        second = tracker.register(ctx)
+        assert first is second
+        assert len(tracker) == 1
+
+    def test_unknown_context_raises(self, mk):
+        tracker = LifecycleTracker()
+        with pytest.raises(KeyError):
+            tracker.record_of(mk())
+
+    def test_set_state_validates(self, mk):
+        tracker = LifecycleTracker()
+        ctx = mk()
+        tracker.register(ctx)
+        tracker.set_state(ctx, ContextState.INCONSISTENT)
+        with pytest.raises(LifecycleError):
+            tracker.set_state(ctx, ContextState.CONSISTENT)
+
+    def test_in_state_sorted_by_id(self, mk):
+        tracker = LifecycleTracker()
+        b, a = mk(ctx_id="b"), mk(ctx_id="a")
+        tracker.register(b)
+        tracker.register(a)
+        tracker.set_state(b, ContextState.BAD)
+        undecided = tracker.in_state(ContextState.UNDECIDED)
+        assert [r.context.ctx_id for r in undecided] == ["a"]
+        assert [r.context.ctx_id for r in tracker.in_state(ContextState.BAD)] == ["b"]
+
+    def test_contains(self, mk):
+        tracker = LifecycleTracker()
+        ctx = mk()
+        assert ctx not in tracker
+        tracker.register(ctx)
+        assert ctx in tracker
+        assert "string" not in tracker

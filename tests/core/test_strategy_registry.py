@@ -1,0 +1,61 @@
+"""Unit tests for the strategy registry and the base-class contract."""
+
+import pytest
+
+import repro.core  # noqa: F401 -- registers the built-ins
+from repro.core.drop_bad import DropBadStrategy
+from repro.core.oracle import OptimalStrategy
+from repro.core.strategy import (
+    ImmediateStrategy,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+
+class TestRegistry:
+    def test_all_paper_strategies_registered(self):
+        names = strategy_names()
+        for expected in (
+            "drop-latest",
+            "drop-all",
+            "drop-random",
+            "user-specified",
+            "drop-bad",
+            "opt-r",
+        ):
+            assert expected in names
+
+    def test_make_strategy_returns_fresh_instances(self):
+        a = make_strategy("drop-bad")
+        b = make_strategy("drop-bad")
+        assert isinstance(a, DropBadStrategy)
+        assert a is not b
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("drop-everything")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy("drop-bad")(DropBadStrategy)
+
+    def test_kwargs_forwarded(self):
+        strategy = make_strategy("drop-bad", discard_on_tie=False)
+        assert strategy._discard_on_tie is False
+
+
+class TestBaseContract:
+    def test_names_match_registry_keys(self):
+        for name in ("drop-latest", "drop-all", "drop-bad", "opt-r"):
+            assert make_strategy(name).name == name
+
+    def test_immediate_strategies_check_against_consistent(self, mk):
+        strategy = make_strategy("drop-latest")
+        ctx = mk()
+        strategy.on_context_added(ctx, [])
+        assert strategy.participates_in_checking(ctx)
+
+    def test_oracle_is_immediate(self):
+        assert isinstance(make_strategy("opt-r"), ImmediateStrategy)
+        assert isinstance(make_strategy("opt-r"), OptimalStrategy)

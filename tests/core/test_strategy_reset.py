@@ -1,0 +1,43 @@
+"""Reset semantics: every registered strategy is reusable after reset."""
+
+import pytest
+
+from repro.core.inconsistency import Inconsistency
+from repro.core.strategy import make_strategy, strategy_names
+
+
+def inc(*contexts):
+    return Inconsistency(frozenset(contexts))
+
+
+@pytest.mark.parametrize("name", strategy_names())
+class TestReset:
+    def test_reset_forgets_everything(self, name, mk):
+        strategy = make_strategy(name)
+        a = mk(ctx_id="a", timestamp=1.0)
+        b = mk(ctx_id="b", timestamp=2.0, corrupted=True)
+        strategy.on_context_added(a, [])
+        strategy.on_context_added(b, [inc(a, b)])
+        strategy.reset()
+        assert len(strategy.delta) == 0
+        assert not strategy.lifecycle.known(a)
+        assert not strategy.lifecycle.known(b)
+        assert strategy.inconsistencies_seen == 0
+
+    def test_run_after_reset_matches_fresh_instance(self, name, mk):
+        def drive(strategy):
+            a = mk(ctx_id="a", timestamp=1.0)
+            b = mk(ctx_id="b", timestamp=2.0, corrupted=True)
+            first = strategy.on_context_added(a, [])
+            second = strategy.on_context_added(b, [inc(a, b)])
+            used = strategy.on_context_used(a)
+            return (
+                first.discarded,
+                second.discarded,
+                used.delivered,
+            )
+
+        reused = make_strategy(name)
+        drive(reused)
+        reused.reset()
+        assert drive(reused) == drive(make_strategy(name))

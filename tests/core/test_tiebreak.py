@@ -1,0 +1,95 @@
+"""Unit tests for tie-break policies."""
+
+import random
+
+import pytest
+
+from repro.core.inconsistency import Inconsistency, TrackedInconsistencies
+from repro.core.tiebreak import (
+    LeastGlobalCount,
+    MostGlobalCount,
+    NewestFirst,
+    OldestFirst,
+    RandomChoice,
+    make_tiebreak,
+)
+
+
+@pytest.fixture
+def delta():
+    return TrackedInconsistencies()
+
+
+class TestOrderPolicies:
+    def test_oldest_first(self, mk, delta):
+        old = mk(ctx_id="a", timestamp=1.0)
+        new = mk(ctx_id="b", timestamp=2.0)
+        assert OldestFirst().choose([new, old], delta) is old
+
+    def test_newest_first(self, mk, delta):
+        old = mk(ctx_id="a", timestamp=1.0)
+        new = mk(ctx_id="b", timestamp=2.0)
+        assert NewestFirst().choose([new, old], delta) is new
+
+    def test_timestamp_ties_broken_by_id(self, mk, delta):
+        a = mk(ctx_id="a", timestamp=1.0)
+        b = mk(ctx_id="b", timestamp=1.0)
+        assert OldestFirst().choose([b, a], delta).ctx_id == "a"
+        assert NewestFirst().choose([a, b], delta).ctx_id == "b"
+
+    def test_empty_candidates_raise(self, delta):
+        with pytest.raises(ValueError):
+            OldestFirst().choose([], delta)
+
+
+class TestGlobalCountPolicies:
+    def _setup(self, mk, delta):
+        hot = mk(ctx_id="hot", timestamp=1.0)
+        cold = mk(ctx_id="cold", timestamp=2.0)
+        x = mk(ctx_id="x", timestamp=3.0)
+        delta.add(Inconsistency(frozenset({hot, cold})))
+        delta.add(Inconsistency(frozenset({hot, x}), constraint="c2"))
+        return hot, cold
+
+    def test_most_global_prefers_entangled(self, mk, delta):
+        hot, cold = self._setup(mk, delta)
+        assert MostGlobalCount().choose([hot, cold], delta) is hot
+
+    def test_least_global_prefers_isolated(self, mk, delta):
+        hot, cold = self._setup(mk, delta)
+        assert LeastGlobalCount().choose([hot, cold], delta) is cold
+
+
+class TestRandomChoice:
+    def test_seeded_determinism(self, mk, delta):
+        a = mk(ctx_id="a")
+        b = mk(ctx_id="b")
+        first = RandomChoice(random.Random(3)).choose([a, b], delta)
+        second = RandomChoice(random.Random(3)).choose([a, b], delta)
+        assert first is second
+
+    def test_choice_is_order_insensitive(self, mk, delta):
+        a = mk(ctx_id="a")
+        b = mk(ctx_id="b")
+        assert RandomChoice(random.Random(3)).choose(
+            [a, b], delta
+        ) is RandomChoice(random.Random(3)).choose([b, a], delta)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("oldest", OldestFirst),
+            ("newest", NewestFirst),
+            ("random", RandomChoice),
+            ("least-global", LeastGlobalCount),
+            ("most-global", MostGlobalCount),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_tiebreak(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown tie-break"):
+            make_tiebreak("nope")

@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import ascii_chart, chart_comparison
+from repro.experiments.metrics import SeriesPoint
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart(
+            {"opt-r": [(0.1, 100.0), (0.2, 100.0)],
+             "drop-all": [(0.1, 80.0), (0.2, 70.0)]},
+            title="test chart",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "test chart"
+        assert "O" in chart  # opt-r glyph
+        assert "A" in chart  # drop-all glyph
+        assert "10%" in chart and "20%" in chart
+        assert "O=opt-r" in chart
+
+    def test_y_axis_labels_span_range(self):
+        chart = ascii_chart(
+            {"s": [(0.1, 0.0), (0.4, 100.0)]}, y_min=0.0, y_max=100.0
+        )
+        assert " 100.0 |" in chart
+        assert "   0.0 |" in chart
+
+    def test_collision_marker(self):
+        chart = ascii_chart(
+            {"a": [(0.1, 50.0)], "b": [(0.1, 50.0)]},
+            y_min=0.0,
+            y_max=100.0,
+        )
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(0.1, 42.0)]})
+        assert "10%" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = ascii_chart({"s": [(0.1, 5.0), (0.2, 5.0)]})
+        assert "S" in chart or "*" in chart
+
+
+class TestChartComparison:
+    def _points(self):
+        return [
+            SeriesPoint("opt-r", 0.1, 100.0, 100.0),
+            SeriesPoint("opt-r", 0.4, 100.0, 100.0),
+            SeriesPoint("drop-bad", 0.1, 95.0, 96.0),
+            SeriesPoint("drop-bad", 0.4, 88.0, 90.0),
+            SeriesPoint("drop-all", 0.1, 85.0, 86.0),
+            SeriesPoint("drop-all", 0.4, 62.0, 70.0),
+        ]
+
+    def test_renders_all_strategies(self):
+        chart = chart_comparison(self._points(), title="Figure 9 top")
+        assert chart.splitlines()[0] == "Figure 9 top"
+        for glyph in ("O", "B", "A"):
+            assert glyph in chart
+
+    def test_metric_selection(self):
+        chart = chart_comparison(self._points(), metric="sit_act_rate")
+        assert "B=drop-bad" in chart

@@ -1,0 +1,81 @@
+"""Unit tests for the experiment metrics."""
+
+import pytest
+
+from repro.experiments.metrics import (
+    GroupMetrics,
+    average_metrics,
+    normalized_rate,
+)
+
+
+def metrics(**overrides):
+    base = dict(
+        strategy="drop-bad",
+        err_rate=0.2,
+        seed=1,
+        contexts_total=100,
+        contexts_corrupted=20,
+        contexts_used=75,
+        contexts_used_corrupted=5,
+        situations_activated=30,
+        situations_spurious=3,
+        inconsistencies_detected=40,
+        contexts_discarded=25,
+        discarded_corrupted=15,
+        discarded_expected=10,
+    )
+    base.update(overrides)
+    return GroupMetrics(**base)
+
+
+class TestGroupMetrics:
+    def test_derived_counts(self):
+        m = metrics()
+        assert m.contexts_used_expected == 70
+        assert m.situations_activated_correct == 27
+
+    def test_survival_rate(self):
+        m = metrics()
+        # 80 expected, 10 discarded expected -> 87.5% survive.
+        assert m.survival_rate == pytest.approx(0.875)
+
+    def test_removal_precision_and_recall(self):
+        m = metrics()
+        assert m.removal_precision == pytest.approx(15 / 25)
+        assert m.removal_recall == pytest.approx(15 / 20)
+
+    def test_degenerate_cases(self):
+        m = metrics(
+            contexts_total=10,
+            contexts_corrupted=0,
+            contexts_discarded=0,
+            discarded_corrupted=0,
+            discarded_expected=0,
+        )
+        assert m.removal_precision == 1.0
+        assert m.removal_recall == 1.0
+        assert m.survival_rate == 1.0
+
+
+class TestAverageMetrics:
+    def test_means_over_groups(self):
+        a = metrics(contexts_used=80, contexts_used_corrupted=0)
+        b = metrics(contexts_used=60, contexts_used_corrupted=0)
+        avg = average_metrics([a, b])
+        assert avg["contexts_used"] == 70.0
+        assert avg["contexts_used_expected"] == 70.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_metrics([])
+
+
+class TestNormalizedRate:
+    def test_against_baseline(self):
+        assert normalized_rate(50.0, 100.0) == 50.0
+        assert normalized_rate(100.0, 100.0) == 100.0
+
+    def test_zero_baseline(self):
+        assert normalized_rate(0.0, 0.0) == 100.0
+        assert normalized_rate(5.0, 0.0) == 0.0

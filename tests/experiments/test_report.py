@@ -1,0 +1,83 @@
+"""Unit tests for the plain-text report formatting."""
+
+import pytest
+
+from repro.experiments.ablations import TieBreakPoint, WindowPoint
+from repro.experiments.case_study import CaseStudyResult
+from repro.experiments.report import (
+    format_case_study,
+    format_scenarios,
+    format_table,
+    format_tiebreak_ablation,
+    format_window_ablation,
+)
+from repro.experiments.scenarios import ScenarioOutcome
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bbb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_column_widths_fit_content(self):
+        text = format_table(["h"], [["longvalue"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) == len("longvalue")
+
+
+class TestScenarioFormatting:
+    def test_rows_per_outcome(self):
+        outcomes = [
+            ScenarioOutcome("drop-bad", "A", True, ("d3",), ("d1",)),
+            ScenarioOutcome("drop-latest", "B", False, ("d4",), ()),
+        ]
+        text = format_scenarios(outcomes)
+        assert "D-Bad" in text
+        assert "D-Lat" in text
+        assert "yes" in text and "NO" in text
+        assert "refined" in text and "basic" in text
+
+
+class TestCaseStudyFormatting:
+    def test_headline_numbers_present(self):
+        result = CaseStudyResult(
+            contexts_total=100,
+            contexts_corrupted=20,
+            survival_rate=0.965,
+            removal_precision=0.847,
+            removal_recall=0.8,
+            rule1_rate=1.0,
+            rule2_rate=0.85,
+            rule2_relaxed_rate=0.917,
+            observations=50,
+            mean_error_raw=3.0,
+            mean_error_delivered=1.5,
+        )
+        text = format_case_study(result)
+        assert "96.5%" in text
+        assert "84.7%" in text
+        assert "91.7%" in text
+        assert result.accuracy_improvement == pytest.approx(0.5)
+
+
+class TestAblationFormatting:
+    def test_window_table(self):
+        points = [
+            WindowPoint(0, 80.0, 80.5, 0.5, 0.5),
+            WindowPoint(8, 92.0, 81.0, 0.8, 0.5),
+        ]
+        text = format_window_ablation(points)
+        assert "window" in text
+        assert "+11.0" in text
+
+    def test_tiebreak_table(self):
+        points = [
+            TieBreakPoint("oldest", True, 90.0, 91.0, 0.8, 0.95),
+            TieBreakPoint("oldest", False, 92.0, 93.0, 0.85, 0.97),
+        ]
+        text = format_tiebreak_ablation(points)
+        assert "oldest" in text
+        assert "yes" in text and "no" in text

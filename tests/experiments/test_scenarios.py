@@ -1,0 +1,141 @@
+"""Tests asserting the Figures 1-5 walkthroughs match the paper."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    count_values,
+    replay_strategy,
+    scenario_contexts,
+    tracked_inconsistencies,
+    velocity_constraints,
+)
+
+
+class TestScenarioGeometry:
+    def test_five_contexts_d3_corrupted(self):
+        for scenario in SCENARIOS:
+            contexts = scenario_contexts(scenario)
+            assert [c.ctx_id for c in contexts] == [
+                "d1",
+                "d2",
+                "d3",
+                "d4",
+                "d5",
+            ]
+            assert [c.corrupted for c in contexts] == [
+                False,
+                False,
+                True,
+                False,
+                False,
+            ]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            scenario_contexts("C")
+
+    def test_constraint_sets(self):
+        assert len(velocity_constraints(refined=False)) == 1
+        assert len(velocity_constraints(refined=True)) == 2
+
+
+class TestFigure1And4:
+    """The basic (adjacent-pair) constraint."""
+
+    def test_scenario_a_delta(self):
+        assert tracked_inconsistencies("A", refined=False) == {
+            frozenset({"d2", "d3"}),
+            frozenset({"d3", "d4"}),
+        }
+
+    def test_scenario_a_counts(self):
+        assert count_values("A", refined=False) == {
+            "d1": 0,
+            "d2": 1,
+            "d3": 2,
+            "d4": 1,
+            "d5": 0,
+        }
+
+    def test_scenario_b_delta(self):
+        assert tracked_inconsistencies("B", refined=False) == {
+            frozenset({"d3", "d4"})
+        }
+
+    def test_scenario_b_counts_tie(self):
+        counts = count_values("B", refined=False)
+        assert counts["d3"] == counts["d4"] == 1
+
+
+class TestFigure5:
+    """The refined constraint (one-separated pairs added)."""
+
+    def test_scenario_a_delta(self):
+        assert tracked_inconsistencies("A", refined=True) == {
+            frozenset({"d1", "d3"}),
+            frozenset({"d2", "d3"}),
+            frozenset({"d3", "d4"}),
+            frozenset({"d3", "d5"}),
+        }
+
+    def test_scenario_a_counts(self):
+        assert count_values("A", refined=True) == {
+            "d1": 1,
+            "d2": 1,
+            "d3": 4,
+            "d4": 1,
+            "d5": 1,
+        }
+
+    def test_scenario_b_delta(self):
+        assert tracked_inconsistencies("B", refined=True) == {
+            frozenset({"d3", "d4"}),
+            frozenset({"d3", "d5"}),
+        }
+
+    def test_scenario_b_counts(self):
+        assert count_values("B", refined=True) == {
+            "d1": 0,
+            "d2": 0,
+            "d3": 2,
+            "d4": 1,
+            "d5": 1,
+        }
+
+
+class TestStrategyNarrative:
+    """Section 2-3's claims about each strategy on each scenario."""
+
+    def test_drop_latest_correct_on_a(self):
+        assert replay_strategy("drop-latest", "A", refined=False).correct
+
+    def test_drop_latest_blames_d4_on_b(self):
+        outcome = replay_strategy("drop-latest", "B", refined=False)
+        assert not outcome.correct
+        assert "d4" in outcome.discarded
+        assert "d3" not in outcome.discarded
+
+    def test_drop_all_loses_d2_on_a(self):
+        outcome = replay_strategy("drop-all", "A", refined=False)
+        assert not outcome.correct
+        assert set(outcome.discarded) >= {"d2", "d3"}
+
+    def test_drop_all_loses_d4_on_b(self):
+        outcome = replay_strategy("drop-all", "B", refined=False)
+        assert set(outcome.discarded) == {"d3", "d4"}
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("refined", [False, True])
+    def test_drop_bad_correct_everywhere(self, scenario, refined):
+        outcome = replay_strategy("drop-bad", scenario, refined=refined)
+        assert outcome.correct, (
+            f"drop-bad should discard exactly d3 in scenario "
+            f"{scenario} (refined={refined}), got {outcome.discarded}"
+        )
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_opt_r_is_perfect(self, scenario):
+        outcome = replay_strategy("opt-r", scenario, refined=True)
+        assert outcome.correct
+        assert set(outcome.delivered) == {"d1", "d2", "d4", "d5"}

@@ -1,0 +1,130 @@
+"""Property tests over the full middleware pipeline.
+
+Hypothesis drives random location streams through every strategy and
+checks the invariants that must hold regardless of workload:
+
+* conservation: every added context is exactly one of
+  delivered / discarded / expired / still-pending;
+* the oracle never delivers corrupted or discards expected contexts
+  and upper-bounds everyone's expected-context delivery;
+* determinism: replaying a stream yields identical logs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.checker import ConstraintChecker
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+from repro.core.strategy import make_strategy
+from repro.middleware.manager import Middleware
+
+STRATEGY_NAMES = ("opt-r", "drop-bad", "drop-latest", "drop-all")
+
+
+def _checker():
+    return ConstraintChecker(
+        [
+            parse_constraint(
+                "velocity",
+                "forall l1 in location, forall l2 in location : "
+                "(same_subject(l1, l2) and before(l1, l2) "
+                "and within_time(l1, l2, 1.5)) "
+                "implies velocity_le(l1, l2, 1.5)",
+            )
+        ]
+    )
+
+
+@st.composite
+def streams(draw):
+    """A random single-subject location stream with ground truth."""
+    length = draw(st.integers(min_value=1, max_value=14))
+    contexts = []
+    x = 0.0
+    for index in range(length):
+        corrupted = draw(st.booleans())
+        if corrupted:
+            # A jump that may or may not breach the velocity bound.
+            offset = draw(
+                st.floats(min_value=1.0, max_value=8.0, allow_nan=False)
+            )
+        else:
+            offset = draw(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+            )
+        position = (x + offset if corrupted else x, 0.0)
+        if not corrupted:
+            x += offset
+        contexts.append(
+            Context(
+                ctx_id=f"s{index:02d}",
+                ctx_type="location",
+                subject="p",
+                value=position,
+                timestamp=float(index),
+                corrupted=corrupted,
+            )
+        )
+    window = draw(st.integers(min_value=0, max_value=6))
+    return contexts, window
+
+
+def _run(name, contexts, window):
+    middleware = Middleware(
+        _checker(), make_strategy(name), use_window=window
+    )
+    middleware.receive_all(contexts)
+    return middleware
+
+
+@settings(max_examples=120, deadline=None)
+@given(streams())
+def test_conservation_and_terminality(data):
+    contexts, window = data
+    for name in STRATEGY_NAMES:
+        middleware = _run(name, contexts, window)
+        log = middleware.resolution.log
+        delivered = {c.ctx_id for c in log.delivered}
+        discarded = {c.ctx_id for c in log.discarded}
+        # No context is both delivered and discarded... except a
+        # baseline revoking an already-delivered context; delivery
+        # then discard is allowed, but never the other way round.
+        if name in ("drop-bad", "opt-r"):
+            assert not (delivered & discarded), name
+        # Every context is accounted for.
+        for ctx in contexts:
+            assert (
+                ctx.ctx_id in delivered
+                or ctx.ctx_id in discarded
+                or ctx in middleware.pool
+            ), (name, ctx.ctx_id)
+
+
+@settings(max_examples=80, deadline=None)
+@given(streams())
+def test_oracle_bounds_expected_delivery(data):
+    contexts, window = data
+    oracle = _run("opt-r", contexts, window).resolution.log
+    oracle_expected = sum(1 for c in oracle.delivered if not c.corrupted)
+    assert all(not c.corrupted for c in oracle.delivered)
+    assert all(c.corrupted for c in oracle.discarded)
+    for name in ("drop-bad", "drop-latest", "drop-all"):
+        log = _run(name, contexts, window).resolution.log
+        mine = sum(1 for c in log.delivered if not c.corrupted)
+        assert mine <= oracle_expected, name
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams())
+def test_replay_determinism(data):
+    contexts, window = data
+    for name in STRATEGY_NAMES:
+        first = _run(name, contexts, window).resolution.log
+        second = _run(name, contexts, window).resolution.log
+        assert [c.ctx_id for c in first.delivered] == [
+            c.ctx_id for c in second.delivered
+        ]
+        assert [c.ctx_id for c in first.discarded] == [
+            c.ctx_id for c in second.discarded
+        ]

@@ -1,0 +1,60 @@
+"""Unit tests for the event bus."""
+
+from repro.middleware.bus import (
+    ContextAdmitted,
+    ContextDiscarded,
+    ContextReceived,
+    Event,
+    EventBus,
+)
+
+
+class TestEventBus:
+    def test_exact_type_dispatch(self, mk):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(ContextReceived, seen.append)
+        event = ContextReceived(at=1.0, context=mk())
+        bus.publish(event)
+        bus.publish(ContextDiscarded(at=2.0, context=mk()))
+        assert seen == [event]
+
+    def test_base_class_receives_subtypes(self, mk):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(Event, seen.append)
+        bus.publish(ContextReceived(at=1.0, context=mk()))
+        bus.publish(ContextAdmitted(at=2.0, context=mk()))
+        assert len(seen) == 2
+
+    def test_multiple_handlers_in_order(self, mk):
+        bus = EventBus()
+        order = []
+        bus.subscribe(ContextReceived, lambda e: order.append("first"))
+        bus.subscribe(ContextReceived, lambda e: order.append("second"))
+        bus.publish(ContextReceived(at=0.0, context=mk()))
+        assert order == ["first", "second"]
+
+    def test_published_counter_and_clear(self, mk):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(ContextReceived, seen.append)
+        bus.publish(ContextReceived(at=0.0, context=mk()))
+        assert bus.published == 1
+        bus.clear()
+        bus.publish(ContextReceived(at=1.0, context=mk()))
+        assert seen == [] or len(seen) == 1  # cleared subscriptions
+        assert bus.published == 1
+
+    def test_handler_added_during_publish_not_invoked_for_same_event(
+        self, mk
+    ):
+        bus = EventBus()
+        late_calls = []
+
+        def handler(event):
+            bus.subscribe(ContextReceived, late_calls.append)
+
+        bus.subscribe(ContextReceived, handler)
+        bus.publish(ContextReceived(at=0.0, context=mk()))
+        assert late_calls == []

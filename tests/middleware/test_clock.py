@@ -1,0 +1,41 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.middleware.clock import SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_given_time(self):
+        assert SimulationClock(5.0).now() == 5.0
+        assert SimulationClock().now() == 0.0
+
+    def test_advance_by_delta(self):
+        clock = SimulationClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_to_absolute(self):
+        clock = SimulationClock()
+        clock.advance_to(7.0)
+        assert clock.now() == 7.0
+
+    def test_no_backwards_travel(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.0)
+        with pytest.raises(ValueError, match="negative"):
+            clock.advance(-1.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimulationClock(3.0)
+        assert clock.advance_to(3.0) == 3.0
+
+    def test_watchers_fire_on_forward_moves_only(self):
+        clock = SimulationClock()
+        seen = []
+        clock.on_advance(seen.append)
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)  # no-op
+        clock.advance_to(2.0)
+        assert seen == [1.0, 2.0]

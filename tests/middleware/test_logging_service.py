@@ -1,0 +1,67 @@
+"""Tests for the logging plug-in service."""
+
+import logging
+
+import pytest
+
+from repro.constraints.checker import ConstraintChecker
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+from repro.core.strategy import make_strategy
+from repro.middleware.logging_service import LoggingService
+from repro.middleware.manager import Middleware
+
+
+def loc(ctx_id, x, t):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="location",
+        subject="p",
+        value=(float(x), 0.0),
+        timestamp=float(t),
+    )
+
+
+@pytest.fixture
+def middleware():
+    checker = ConstraintChecker(
+        [
+            parse_constraint(
+                "velocity",
+                "forall l1 in location, forall l2 in location : "
+                "(same_subject(l1, l2) and before(l1, l2)) "
+                "implies velocity_le(l1, l2, 1.5)",
+            )
+        ]
+    )
+    return Middleware(checker, make_strategy("drop-latest"), use_window=1)
+
+
+class TestLoggingService:
+    def test_lifecycle_events_logged(self, middleware, caplog):
+        middleware.plug_in(LoggingService())
+        with caplog.at_level(logging.DEBUG, logger="repro.middleware"):
+            middleware.receive_all([loc("a", 0.0, 0.0), loc("b", 1.0, 1.0)])
+        text = caplog.text
+        assert "received a" in text
+        assert "admitted a" in text
+        assert "delivered a" in text
+
+    def test_inconsistency_and_discard_at_info(self, middleware, caplog):
+        middleware.plug_in(LoggingService())
+        with caplog.at_level(logging.INFO, logger="repro.middleware"):
+            middleware.receive_all([loc("a", 0.0, 0.0), loc("b", 9.0, 1.0)])
+        info_messages = [
+            r.message for r in caplog.records if r.levelno == logging.INFO
+        ]
+        assert any("inconsistency velocity" in m for m in info_messages)
+        assert any("discarded b" in m for m in info_messages)
+        # Debug chatter is not at INFO.
+        assert not any("received" in m for m in info_messages)
+
+    def test_custom_logger(self, middleware, caplog):
+        logger = logging.getLogger("my.app")
+        middleware.plug_in(LoggingService(logger=logger))
+        with caplog.at_level(logging.DEBUG, logger="my.app"):
+            middleware.receive(loc("a", 0.0, 0.0))
+        assert any(r.name == "my.app" for r in caplog.records)

@@ -1,0 +1,73 @@
+"""Unit tests for the context pool."""
+
+import pytest
+
+from repro.middleware.pool import ContextPool
+
+
+class TestContextPool:
+    def test_add_and_lookup(self, mk):
+        pool = ContextPool()
+        ctx = mk(ctx_id="a")
+        pool.add(ctx)
+        assert ctx in pool
+        assert pool.get("a") is ctx
+        assert len(pool) == 1
+
+    def test_duplicate_ids_rejected(self, mk):
+        pool = ContextPool()
+        pool.add(mk(ctx_id="a"))
+        with pytest.raises(ValueError, match="already in pool"):
+            pool.add(mk(ctx_id="a"))
+
+    def test_remove(self, mk):
+        pool = ContextPool()
+        ctx = mk()
+        pool.add(ctx)
+        assert pool.remove(ctx)
+        assert not pool.remove(ctx)
+        assert ctx not in pool
+
+    def test_iteration_in_arrival_order(self, mk):
+        pool = ContextPool()
+        contexts = [mk(ctx_id=f"c{i}") for i in range(5)]
+        for ctx in contexts:
+            pool.add(ctx)
+        assert pool.contents() == contexts
+
+    def test_expire(self, mk):
+        pool = ContextPool()
+        stale = mk(ctx_id="stale", timestamp=0.0, lifespan=5.0)
+        fresh = mk(ctx_id="fresh", timestamp=4.0, lifespan=5.0)
+        pool.add(stale)
+        pool.add(fresh)
+        expired = pool.expire(now=6.0)
+        assert expired == [stale]
+        assert pool.contents() == [fresh]
+
+    def test_query_filters(self, mk):
+        pool = ContextPool()
+        loc = mk(ctx_id="l", ctx_type="location", subject="peter")
+        badge = mk(ctx_id="b", ctx_type="badge", subject="alice")
+        pool.add(loc)
+        pool.add(badge)
+        assert pool.by_type("location") == [loc]
+        assert pool.by_subject("alice") == [badge]
+        assert pool.query(ctx_type="badge", subject="alice") == [badge]
+        assert pool.query(ctx_type="badge", subject="peter") == []
+        assert pool.query(predicate=lambda c: c.ctx_id == "l") == [loc]
+
+    def test_latest(self, mk):
+        pool = ContextPool()
+        old = mk(ctx_id="old", ctx_type="badge", timestamp=1.0)
+        new = mk(ctx_id="new", ctx_type="badge", timestamp=9.0)
+        pool.add(new)
+        pool.add(old)
+        assert pool.latest(ctx_type="badge") is new
+        assert pool.latest(ctx_type="location") is None
+
+    def test_clear(self, mk):
+        pool = ContextPool()
+        pool.add(mk())
+        pool.clear()
+        assert len(pool) == 0

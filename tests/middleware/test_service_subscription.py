@@ -1,0 +1,84 @@
+"""Unit tests for plug-in services and application subscriptions."""
+
+import pytest
+
+from repro.middleware.service import MiddlewareService, ServiceRegistry
+from repro.middleware.subscription import SubscriptionRegistry
+
+
+class Recorder(MiddlewareService):
+    def __init__(self, name):
+        self.name = name
+        self.events = []
+
+    def on_attach(self, middleware):
+        self.events.append("attach")
+
+    def on_start(self):
+        self.events.append("start")
+
+    def on_stop(self):
+        self.events.append("stop")
+
+
+class TestServiceRegistry:
+    def test_add_get_iterate(self):
+        registry = ServiceRegistry()
+        a, b = Recorder("a"), Recorder("b")
+        registry.add(a)
+        registry.add(b)
+        assert registry.get("a") is a
+        assert registry.maybe_get("missing") is None
+        assert list(registry) == [a, b]
+        assert len(registry) == 2
+        assert "a" in registry
+
+    def test_duplicate_names_rejected(self):
+        registry = ServiceRegistry()
+        registry.add(Recorder("a"))
+        with pytest.raises(ValueError, match="already plugged in"):
+            registry.add(Recorder("a"))
+
+    def test_start_stop_all(self):
+        registry = ServiceRegistry()
+        a = Recorder("a")
+        registry.add(a)
+        registry.start_all()
+        registry.stop_all()
+        assert a.events == ["start", "stop"]
+
+
+class TestSubscriptions:
+    def test_dispatch_filters_type_and_subject(self, mk):
+        registry = SubscriptionRegistry()
+        got_badges, got_peter = [], []
+        registry.subscribe("app1", got_badges.append, ctx_type="badge")
+        registry.subscribe("app2", got_peter.append, subject="peter")
+        badge_peter = mk(ctx_type="badge", subject="peter")
+        loc_peter = mk(ctx_type="location", subject="peter")
+        badge_alice = mk(ctx_type="badge", subject="alice")
+        for ctx in (badge_peter, loc_peter, badge_alice):
+            registry.dispatch(ctx)
+        assert got_badges == [badge_peter, badge_alice]
+        assert got_peter == [badge_peter, loc_peter]
+
+    def test_dispatch_returns_match_count(self, mk):
+        registry = SubscriptionRegistry()
+        registry.subscribe("app", lambda c: None)
+        registry.subscribe("app", lambda c: None, ctx_type="badge")
+        assert registry.dispatch(mk(ctx_type="badge")) == 2
+        assert registry.dispatch(mk(ctx_type="location")) == 1
+
+    def test_received_counter(self, mk):
+        registry = SubscriptionRegistry()
+        sub = registry.subscribe("app", lambda c: None)
+        registry.dispatch(mk())
+        registry.dispatch(mk())
+        assert sub.received == 2
+
+    def test_for_app(self, mk):
+        registry = SubscriptionRegistry()
+        registry.subscribe("a", lambda c: None)
+        registry.subscribe("b", lambda c: None)
+        assert len(registry.for_app("a")) == 1
+        assert len(registry) == 2

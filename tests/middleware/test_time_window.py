@@ -1,0 +1,89 @@
+"""Tests for the time-based use window (checking-sensitive period)."""
+
+import pytest
+
+from repro.constraints.checker import ConstraintChecker
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+from repro.core.strategy import make_strategy
+from repro.middleware.manager import Middleware
+
+
+def checker():
+    return ConstraintChecker(
+        [
+            parse_constraint(
+                "velocity",
+                "forall l1 in location, forall l2 in location : "
+                "(same_subject(l1, l2) and before(l1, l2)) "
+                "implies velocity_le(l1, l2, 1.5)",
+            )
+        ]
+    )
+
+
+def loc(ctx_id, x, t):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="location",
+        subject="p",
+        value=(float(x), 0.0),
+        timestamp=float(t),
+    )
+
+
+class TestTimeBasedWindow:
+    def test_contexts_used_after_delay(self):
+        middleware = Middleware(
+            checker(), make_strategy("drop-bad"), use_delay=5.0
+        )
+        middleware.receive(loc("a", 0.0, 0.0))
+        assert middleware.used_count() == 0
+        middleware.receive(loc("b", 1.0, 2.0))
+        assert middleware.used_count() == 0
+        middleware.receive(loc("c", 2.0, 6.0))  # a due at t=5
+        assert middleware.used_count() == 1
+
+    def test_due_contexts_used_before_newcomer_checked(self):
+        """A context past its delay leaves checking scope before the
+        next arrival is detected against the pool."""
+        middleware = Middleware(
+            checker(), make_strategy("drop-bad"), use_delay=3.0
+        )
+        middleware.receive(loc("a", 0.0, 0.0))
+        # b arrives at t=10: a was used (and left checking) first, so
+        # the wild jump a->b is never even checked.
+        middleware.receive(loc("b", 50.0, 10.0))
+        assert middleware.resolution.log.detected == []
+        assert middleware.used_count() == 1
+
+    def test_zero_delay_uses_immediately(self):
+        middleware = Middleware(
+            checker(), make_strategy("drop-bad"), use_delay=0.0
+        )
+        middleware.receive(loc("a", 0.0, 0.0))
+        middleware.receive(loc("b", 1.0, 2.0))
+        assert middleware.used_count() == 2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="use_delay"):
+            Middleware(checker(), make_strategy("drop-bad"), use_delay=-1.0)
+
+    def test_flush_still_drains_everything(self):
+        middleware = Middleware(
+            checker(), make_strategy("drop-bad"), use_delay=100.0
+        )
+        middleware.receive_all([loc("a", 0.0, 0.0), loc("b", 1.0, 2.0)])
+        assert middleware.used_count() == 2
+
+    def test_delay_takes_precedence_over_count_window(self):
+        middleware = Middleware(
+            checker(),
+            make_strategy("drop-bad"),
+            use_window=1,
+            use_delay=100.0,
+        )
+        for i in range(5):
+            middleware.receive(loc(f"x{i}", float(i), float(i)))
+        # Despite use_window=1, nothing is due before t=100.
+        assert middleware.used_count() == 0

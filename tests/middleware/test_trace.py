@@ -1,0 +1,103 @@
+"""Tests for JSONL trace record/replay, including a round-trip property."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import Context
+from repro.middleware.trace import (
+    dump_context,
+    load_context,
+    read_trace,
+    write_trace,
+)
+
+
+class TestDumpLoad:
+    def test_roundtrip_basic(self, mk):
+        ctx = mk(
+            ctx_id="a",
+            ctx_type="badge",
+            subject="peter",
+            value="office-1",
+            timestamp=4.5,
+            lifespan=60.0,
+            corrupted=True,
+            attributes=(("floor", 2),),
+        )
+        assert load_context(dump_context(ctx)) == ctx
+
+    def test_position_tuples_survive(self, mk):
+        ctx = mk(value=(1.5, 2.5))
+        restored = load_context(dump_context(ctx))
+        assert restored.position == (1.5, 2.5)
+
+    def test_infinite_lifespan_survives(self, mk):
+        ctx = mk(lifespan=math.inf)
+        restored = load_context(dump_context(ctx))
+        assert math.isinf(restored.lifespan)
+
+    def test_unserializable_value_raises(self, mk):
+        ctx = mk(value=object())
+        with pytest.raises(ValueError, match="not trace-serializable"):
+            dump_context(ctx)
+
+
+class TestFileRoundtrip:
+    def test_write_read(self, mk, tmp_path):
+        contexts = [
+            mk(ctx_id=f"c{i}", value=(float(i), 0.0), timestamp=float(i))
+            for i in range(5)
+        ]
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(contexts, path) == 5
+        assert read_trace(path) == contexts
+
+    def test_blank_lines_tolerated(self, mk, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(dump_context(mk(ctx_id="x")) + "\n\n\n")
+        assert [c.ctx_id for c in read_trace(path)] == ["x"]
+
+    def test_real_workload_roundtrip(self, tmp_path):
+        from repro.apps.rfid_anomalies import RFIDAnomaliesApp
+
+        contexts = RFIDAnomaliesApp().generate_workload(0.2, seed=1, items=3)
+        path = tmp_path / "rfid.jsonl"
+        write_trace(contexts, path)
+        assert read_trace(path) == contexts
+
+
+_json_values = st.one_of(
+    st.text(max_size=12),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.none(),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ctx_id=st.text(min_size=1, max_size=8),
+    ctx_type=st.sampled_from(["location", "badge", "rfid_read"]),
+    subject=st.text(max_size=8),
+    value=_json_values,
+    timestamp=st.floats(
+        min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    corrupted=st.booleans(),
+)
+def test_dump_load_roundtrip_property(
+    ctx_id, ctx_type, subject, value, timestamp, corrupted
+):
+    ctx = Context(
+        ctx_id=ctx_id,
+        ctx_type=ctx_type,
+        subject=subject,
+        value=value,
+        timestamp=timestamp,
+        corrupted=corrupted,
+    )
+    assert load_context(dump_context(ctx)) == ctx

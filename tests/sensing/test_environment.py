@@ -1,0 +1,126 @@
+"""Unit tests for the environment model."""
+
+import random
+
+import pytest
+
+from repro.sensing.environment import FloorPlan, Room, office_floor, warehouse_floor
+
+
+class TestRoom:
+    def test_geometry(self):
+        room = Room("r", 0.0, 0.0, 10.0, 4.0)
+        assert room.center == (5.0, 2.0)
+        assert room.width == 10.0
+        assert room.height == 4.0
+
+    def test_contains(self):
+        room = Room("r", 0.0, 0.0, 10.0, 4.0)
+        assert room.contains((5.0, 2.0))
+        assert room.contains((0.0, 0.0))  # boundary inclusive
+        assert not room.contains((10.1, 2.0))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Room("bad", 0.0, 0.0, 0.0, 4.0)
+
+    def test_random_point_inside(self):
+        room = Room("r", 2.0, 3.0, 8.0, 9.0)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert room.contains(room.random_point(rng))
+
+
+class TestFloorPlan:
+    def test_duplicate_room_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FloorPlan([Room("a", 0, 0, 1, 1), Room("a", 1, 0, 2, 1)])
+
+    def test_door_to_unknown_room_rejected(self):
+        with pytest.raises(ValueError, match="unknown room"):
+            FloorPlan([Room("a", 0, 0, 1, 1)], doors=[("a", "ghost")])
+
+    def test_room_lookup(self):
+        floor = office_floor()
+        assert floor.room("corridor").kind == "corridor"
+        assert floor.room_at((5.0, 4.0)).name == "office-1"
+        assert floor.room_at((-5.0, -5.0)) is None
+
+    def test_routing_goes_through_corridor(self):
+        floor = office_floor()
+        route = floor.route("office-1", "meeting")
+        assert route == ["office-1", "corridor", "meeting"]
+
+    def test_neighbors_and_connectivity(self):
+        floor = office_floor()
+        assert "corridor" in floor.neighbors("office-1")
+        assert floor.are_connected("office-1", "lounge")
+
+    def test_bounds_cover_all_rooms(self):
+        x0, y0, x1, y1 = office_floor().bounds()
+        assert (x0, y0) == (0.0, 0.0)
+        assert (x1, y1) == (40.0, 20.0)
+
+    def test_feasible_rooms_by_kind(self):
+        floor = office_floor()
+        offices = floor.feasible_rooms(["office"])
+        assert offices == {"office-1", "office-2", "office-3", "office-4"}
+
+    def test_rooms_of_kind(self):
+        floor = warehouse_floor()
+        shelves = [r.name for r in floor.rooms_of_kind("shelf")]
+        assert shelves == ["shelf-A", "shelf-B", "shelf-C", "shelf-D"]
+
+
+class TestDoorPoints:
+    def test_door_point_on_shared_face(self):
+        floor = office_floor()
+        x, y = floor.door_point("office-1", "corridor")
+        # office-1 spans x 0-10; the corridor starts at y=8; the point
+        # is pushed 0.5 into the corridor.
+        assert 0.0 <= x <= 10.0
+        assert y == pytest.approx(8.5)
+
+    def test_inset_direction_follows_target(self):
+        floor = office_floor()
+        into_corridor = floor.door_point("office-1", "corridor")
+        into_office = floor.door_point("corridor", "office-1")
+        assert into_corridor[1] > 8.0
+        assert into_office[1] < 8.0
+
+    def test_door_point_lands_in_target_room(self):
+        floor = office_floor()
+        for a, b in floor.graph.edges:
+            assert floor.room(b).contains(floor.door_point(a, b))
+            assert floor.room(a).contains(floor.door_point(b, a))
+
+    def test_vertical_face(self):
+        floor = warehouse_floor()
+        x, y = floor.door_point("dock", "staging")
+        # dock/staging share the vertical face x=10.
+        assert x == pytest.approx(10.5)
+        assert 0.0 <= y <= 10.0
+
+    def test_unconnected_rooms_rejected(self):
+        floor = office_floor()
+        with pytest.raises(ValueError, match="not connected"):
+            floor.door_point("office-1", "office-2")
+
+
+class TestStandardFloors:
+    def test_office_floor_tiles_fully(self):
+        """Every in-bounds point is inside some room (used by the
+        feasible-area constraint)."""
+        floor = office_floor()
+        rng = random.Random(0)
+        x0, y0, x1, y1 = floor.bounds()
+        for _ in range(200):
+            point = (rng.uniform(x0, x1), rng.uniform(y0, y1))
+            assert floor.room_at(point) is not None
+
+    def test_warehouse_flow_connectivity(self):
+        floor = warehouse_floor()
+        assert floor.are_connected("dock", "checkout")
+        # Flow path exists through shelves.
+        route = floor.route("dock", "checkout")
+        assert route[0] == "dock" and route[-1] == "checkout"

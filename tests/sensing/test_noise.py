@@ -1,0 +1,93 @@
+"""Unit tests for the error-injection models."""
+
+import math
+import random
+
+import pytest
+
+from repro.sensing.noise import LocationNoiseModel, RoomNoiseModel, ZoneNoiseModel
+
+
+class TestLocationNoiseModel:
+    def test_err_rate_validation(self):
+        with pytest.raises(ValueError):
+            LocationNoiseModel(1.5, random.Random(0))
+        with pytest.raises(ValueError):
+            LocationNoiseModel(0.1, random.Random(0), displacement_range=(0, 5))
+        with pytest.raises(ValueError):
+            LocationNoiseModel(0.1, random.Random(0), displacement_range=(5, 3))
+
+    def test_zero_rate_never_corrupts(self):
+        model = LocationNoiseModel(0.0, random.Random(1))
+        for _ in range(100):
+            assert not model.observe((0.0, 0.0)).corrupted
+
+    def test_one_rate_always_corrupts(self):
+        model = LocationNoiseModel(1.0, random.Random(1))
+        for _ in range(100):
+            assert model.observe((0.0, 0.0)).corrupted
+
+    def test_corrupted_displacement_in_range(self):
+        model = LocationNoiseModel(
+            1.0, random.Random(2), displacement_range=(6.0, 15.0)
+        )
+        for _ in range(100):
+            reading = model.observe((10.0, 10.0))
+            displacement = math.hypot(
+                reading.value[0] - 10.0, reading.value[1] - 10.0
+            )
+            assert 6.0 <= displacement <= 15.0
+
+    def test_expected_jitter_is_small(self):
+        model = LocationNoiseModel(0.0, random.Random(3), jitter_sigma=0.25)
+        for _ in range(100):
+            reading = model.observe((0.0, 0.0))
+            assert math.hypot(*reading.value) < 2.0  # ~8 sigma
+
+    def test_observed_rate_matches_err_rate(self):
+        model = LocationNoiseModel(0.3, random.Random(4))
+        corrupted = sum(
+            model.observe((0.0, 0.0)).corrupted for _ in range(4000)
+        )
+        assert 0.25 < corrupted / 4000 < 0.35
+
+
+class TestRoomNoiseModel:
+    ROOMS = ["a", "b", "c", "d"]
+
+    def test_needs_two_rooms(self):
+        with pytest.raises(ValueError):
+            RoomNoiseModel(0.1, ["only"], random.Random(0))
+
+    def test_expected_reports_true_room(self):
+        model = RoomNoiseModel(0.0, self.ROOMS, random.Random(1))
+        for _ in range(50):
+            reading = model.observe("b")
+            assert reading.value == "b"
+            assert not reading.corrupted
+
+    def test_corrupted_reports_other_room(self):
+        model = RoomNoiseModel(1.0, self.ROOMS, random.Random(1))
+        for _ in range(50):
+            reading = model.observe("b")
+            assert reading.value != "b"
+            assert reading.value in self.ROOMS
+            assert reading.corrupted
+
+
+class TestZoneNoiseModel:
+    ZONES = ["dock", "staging", "shelf-A", "checkout"]
+
+    def test_corrupted_is_cross_read(self):
+        model = ZoneNoiseModel(1.0, self.ZONES, random.Random(2))
+        for _ in range(50):
+            reading = model.observe("dock")
+            assert reading.corrupted
+            assert reading.value in self.ZONES
+            assert reading.value != "dock"
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ZoneNoiseModel(-0.1, self.ZONES, random.Random(0))
+        with pytest.raises(ValueError):
+            ZoneNoiseModel(0.1, ["one"], random.Random(0))

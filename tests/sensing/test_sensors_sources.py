@@ -1,0 +1,168 @@
+"""Unit tests for RFID readers, badge sensors and context sources."""
+
+import random
+
+import pytest
+
+from repro.core.context import ContextFactory
+from repro.sensing.badge import BadgeSensorNetwork
+from repro.sensing.mobility import TruePosition
+from repro.sensing.noise import LocationNoiseModel, RoomNoiseModel, ZoneNoiseModel
+from repro.sensing.rfid import ZoneReaderArray
+from repro.sensing.source import (
+    BadgeContextSource,
+    RFIDContextSource,
+    TrackedLocationSource,
+    merge_streams,
+)
+
+ZONES = ["dock", "staging", "shelf-A", "checkout"]
+ROOMS = ["office-1", "office-2", "corridor"]
+
+
+def truth(subject="tag-1", rooms=("dock", "dock", "staging")):
+    return [
+        TruePosition(subject, float(i) * 2.0, (float(i), 0.0), room)
+        for i, room in enumerate(rooms)
+    ]
+
+
+class TestZoneReaderArray:
+    def _array(self, err=0.0, miss=0.0, dup=0.0, seed=1):
+        return ZoneReaderArray(
+            ZoneNoiseModel(err, ZONES, random.Random(seed)),
+            random.Random(seed + 1),
+            miss_rate=miss,
+            duplicate_rate=dup,
+        )
+
+    def test_faithful_reads_without_noise(self):
+        reads = self._array().read_stream(truth())
+        assert [r.zone for r in reads] == ["dock", "dock", "staging"]
+        assert all(not r.corrupted for r in reads)
+
+    def test_misses_drop_reads(self):
+        reads = self._array(miss=1.0).read_stream(truth())
+        assert reads == []
+
+    def test_duplicates_add_delayed_copies(self):
+        reads = self._array(dup=1.0).read_stream(truth())
+        assert len(reads) == 6
+        # Each duplicate mirrors its original.
+        zones = [r.zone for r in reads]
+        assert zones.count("dock") == 4
+
+    def test_outside_zone_samples_skipped(self):
+        samples = [TruePosition("t", 0.0, (0.0, 0.0), None)]
+        assert self._array().read_stream(samples) == []
+
+    def test_reads_sorted_by_time(self):
+        reads = self._array(dup=0.5, seed=9).read_stream(truth())
+        times = [r.timestamp for r in reads]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._array(miss=2.0)
+
+
+class TestBadgeSensorNetwork:
+    def test_sightings_follow_truth(self):
+        network = BadgeSensorNetwork(
+            RoomNoiseModel(0.0, ROOMS, random.Random(1)),
+            random.Random(2),
+            miss_rate=0.0,
+        )
+        sightings = network.sightings(truth("peter", ROOMS))
+        assert [s.room for s in sightings] == ROOMS
+        assert all(not s.corrupted for s in sightings)
+
+    def test_misses(self):
+        network = BadgeSensorNetwork(
+            RoomNoiseModel(0.0, ROOMS, random.Random(1)),
+            random.Random(2),
+            miss_rate=1.0,
+        )
+        assert network.sightings(truth("peter", ROOMS)) == []
+
+    def test_corrupted_sightings_flagged(self):
+        network = BadgeSensorNetwork(
+            RoomNoiseModel(1.0, ROOMS, random.Random(1)),
+            random.Random(2),
+            miss_rate=0.0,
+        )
+        for sighting in network.sightings(truth("peter", ROOMS)):
+            assert sighting.corrupted
+
+
+class TestContextSources:
+    def test_tracked_location_source(self):
+        factory = ContextFactory()
+        source = TrackedLocationSource(
+            truth("peter", ROOMS),
+            LocationNoiseModel(0.0, random.Random(1)),
+            factory,
+            lifespan=30.0,
+        )
+        contexts = list(source.contexts())
+        assert len(contexts) == 3
+        assert contexts[0].ctx_type == "location"
+        assert contexts[0].subject == "peter"
+        assert contexts[0].lifespan == 30.0
+        assert contexts[0].attr("true_room") == "office-1"
+
+    def test_badge_source(self):
+        factory = ContextFactory()
+        network = BadgeSensorNetwork(
+            RoomNoiseModel(0.0, ROOMS, random.Random(1)),
+            random.Random(2),
+            miss_rate=0.0,
+        )
+        source = BadgeContextSource(
+            network.sightings(truth("peter", ROOMS)), factory
+        )
+        contexts = list(source.contexts())
+        assert [c.value for c in contexts] == ROOMS
+        assert contexts[0].ctx_type == "badge"
+
+    def test_rfid_source(self):
+        factory = ContextFactory()
+        array = ZoneReaderArray(
+            ZoneNoiseModel(0.0, ZONES, random.Random(1)),
+            random.Random(2),
+            miss_rate=0.0,
+            duplicate_rate=0.0,
+        )
+        source = RFIDContextSource(array.read_stream(truth()), factory)
+        contexts = list(source.contexts())
+        assert [c.value for c in contexts] == ["dock", "dock", "staging"]
+        assert contexts[0].ctx_type == "rfid_read"
+
+    def test_merge_streams_sorted_and_complete(self):
+        factory = ContextFactory()
+        a = TrackedLocationSource(
+            truth("peter", ROOMS),
+            LocationNoiseModel(0.0, random.Random(1)),
+            factory,
+        )
+        b = BadgeContextSource(
+            BadgeSensorNetwork(
+                RoomNoiseModel(0.0, ROOMS, random.Random(3)),
+                random.Random(4),
+                miss_rate=0.0,
+            ).sightings(truth("alice", ROOMS)),
+            factory,
+        )
+        merged = merge_streams(a, b)
+        assert len(merged) == 6
+        times = [c.timestamp for c in merged]
+        assert times == sorted(times)
+
+    def test_corruption_flag_propagates(self):
+        factory = ContextFactory()
+        source = TrackedLocationSource(
+            truth("peter", ROOMS),
+            LocationNoiseModel(1.0, random.Random(1)),
+            factory,
+        )
+        assert all(c.corrupted for c in source.contexts())

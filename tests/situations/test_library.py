@@ -1,0 +1,146 @@
+"""Unit tests for the situation-trigger combinators."""
+
+from repro.core.context import Context
+from repro.situations.library import (
+    co_located,
+    entered,
+    left,
+    make_situation,
+    position_within,
+    value_in,
+    value_is,
+)
+from repro.situations.situation import SituationView
+
+
+def badge(ctx_id, room, t, subject="peter"):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="badge",
+        subject=subject,
+        value=room,
+        timestamp=float(t),
+    )
+
+
+def loc(ctx_id, pos, t, subject="peter"):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="location",
+        subject=subject,
+        value=pos,
+        timestamp=float(t),
+    )
+
+
+def view_of(*contexts):
+    view = SituationView()
+    for ctx in contexts:
+        view.push(ctx, ctx.timestamp)
+    return view
+
+
+class TestValueTriggers:
+    def test_value_is(self):
+        trigger = value_is("badge", "office-2", subject="peter")
+        ctx = badge("a", "office-2", 1.0)
+        assert trigger(ctx, view_of(ctx))
+        assert not trigger(badge("b", "lab", 1.0), view_of())
+        assert not trigger(
+            badge("c", "office-2", 1.0, subject="alice"), view_of()
+        )
+
+    def test_value_in(self):
+        trigger = value_in("badge", ["lab", "lounge"])
+        assert trigger(badge("a", "lab", 1.0), view_of())
+        assert trigger(badge("b", "lounge", 1.0), view_of())
+        assert not trigger(badge("c", "office-1", 1.0), view_of())
+
+    def test_wrong_type_never_triggers(self):
+        trigger = value_is("badge", "office-2")
+        assert not trigger(loc("a", (0, 0), 1.0), view_of())
+
+
+class TestTransitions:
+    def test_entered_fires_on_transition(self):
+        trigger = entered("badge", "meeting")
+        prev = badge("a", "corridor", 1.0)
+        now = badge("b", "meeting", 2.0)
+        view = view_of(prev, now)
+        assert trigger(now, view)
+
+    def test_entered_fires_without_history(self):
+        trigger = entered("badge", "meeting")
+        now = badge("a", "meeting", 1.0)
+        assert trigger(now, view_of(now))
+
+    def test_entered_suppressed_while_staying(self):
+        trigger = entered("badge", "meeting")
+        first = badge("a", "meeting", 1.0)
+        second = badge("b", "meeting", 2.0)
+        view = view_of(first, second)
+        assert not trigger(second, view)
+
+    def test_left_fires_on_exit(self):
+        trigger = left("badge", "meeting")
+        inside = badge("a", "meeting", 1.0)
+        outside = badge("b", "corridor", 2.0)
+        view = view_of(inside, outside)
+        assert trigger(outside, view)
+        assert not trigger(inside, view_of(inside))
+
+
+class TestSpatial:
+    def test_position_within_box(self):
+        trigger = position_within("location", (0.0, 0.0, 10.0, 10.0))
+        assert trigger(loc("a", (5.0, 5.0), 1.0), view_of())
+        assert not trigger(loc("b", (15.0, 5.0), 1.0), view_of())
+
+    def test_non_positional_value_ignored(self):
+        trigger = position_within("location", (0.0, 0.0, 10.0, 10.0))
+        weird = Context(
+            ctx_id="w",
+            ctx_type="location",
+            subject="p",
+            value="not-a-point",
+            timestamp=1.0,
+        )
+        assert not trigger(weird, view_of())
+
+
+class TestCoLocation:
+    def test_fires_when_both_in_same_room_recently(self):
+        trigger = co_located("badge", "peter", "alice", max_age=5.0)
+        peter = badge("p", "lab", 10.0)
+        alice = badge("a", "lab", 8.0, subject="alice")
+        view = view_of(alice, peter)
+        assert trigger(peter, view)
+
+    def test_requires_recency(self):
+        trigger = co_located("badge", "peter", "alice", max_age=5.0)
+        peter = badge("p", "lab", 20.0)
+        alice = badge("a", "lab", 8.0, subject="alice")
+        view = view_of(alice, peter)
+        assert not trigger(peter, view)
+
+    def test_requires_same_room(self):
+        trigger = co_located("badge", "peter", "alice", max_age=5.0)
+        peter = badge("p", "lab", 10.0)
+        alice = badge("a", "lounge", 9.0, subject="alice")
+        view = view_of(alice, peter)
+        assert not trigger(peter, view)
+
+    def test_third_party_never_triggers(self):
+        trigger = co_located("badge", "peter", "alice", max_age=5.0)
+        bob = badge("b", "lab", 10.0, subject="bob")
+        assert not trigger(bob, view_of(bob))
+
+
+class TestMakeSituation:
+    def test_wraps_trigger(self):
+        situation = make_situation(
+            "s", value_is("badge", "lab"), description="d"
+        )
+        assert situation.name == "s"
+        assert situation.description == "d"
+        assert situation.matches(badge("a", "lab", 1.0), view_of())

@@ -1,0 +1,150 @@
+"""Unit tests for the situation engine and view."""
+
+import pytest
+
+from repro.constraints.checker import ConstraintChecker
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+from repro.core.strategy import make_strategy
+from repro.middleware.bus import SituationActivated
+from repro.middleware.manager import Middleware
+from repro.situations.situation import Situation, SituationEngine, SituationView
+
+
+def badge(ctx_id, room, t, subject="peter", corrupted=False):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="badge",
+        subject=subject,
+        value=room,
+        timestamp=float(t),
+        corrupted=corrupted,
+    )
+
+
+class TestSituationView:
+    def test_recent_with_filters(self, mk):
+        view = SituationView()
+        a = badge("a", "office-1", 1.0)
+        b = badge("b", "office-2", 2.0, subject="alice")
+        view.push(a, 1.0)
+        view.push(b, 2.0)
+        assert view.recent() == [a, b]
+        assert view.recent(subject="alice") == [b]
+        assert view.recent(ctx_type="location") == []
+        assert view.recent(limit=1) == [b]
+
+    def test_previous_same_type_and_subject(self):
+        view = SituationView()
+        a = badge("a", "office-1", 1.0)
+        other = badge("x", "lab", 1.5, subject="alice")
+        b = badge("b", "office-2", 2.0)
+        view.push(a, 1.0)
+        view.push(other, 1.5)
+        view.push(b, 2.0)
+        assert view.previous(b) is a
+        assert view.previous(a) is None
+
+    def test_window_evicts_oldest(self):
+        view = SituationView(window=2)
+        contexts = [badge(f"c{i}", "r", i) for i in range(3)]
+        for ctx in contexts:
+            view.push(ctx, ctx.timestamp)
+        assert view.recent() == contexts[1:]
+
+    def test_clear(self):
+        view = SituationView()
+        view.push(badge("a", "r", 1.0), 1.0)
+        view.clear()
+        assert view.recent() == []
+        assert view.now == 0.0
+
+
+class TestSituationEngine:
+    def _middleware(self, situations, strategy="drop-latest", window=0):
+        checker = ConstraintChecker(
+            [parse_constraint("noop", "forall b in badge : true()")]
+        )
+        middleware = Middleware(
+            checker, make_strategy(strategy), use_window=window
+        )
+        engine = SituationEngine(situations)
+        middleware.plug_in(engine)
+        return middleware, engine
+
+    def test_duplicate_situation_names_rejected(self):
+        trigger = lambda ctx, view: True
+        with pytest.raises(ValueError, match="duplicate"):
+            SituationEngine(
+                [Situation("s", trigger), Situation("s", trigger)]
+            )
+
+    def test_activation_counted_per_delivery(self):
+        situation = Situation(
+            "at-desk", lambda ctx, view: ctx.value == "office-2"
+        )
+        middleware, engine = self._middleware([situation])
+        middleware.receive_all(
+            [
+                badge("a", "office-2", 1.0),
+                badge("b", "corridor", 2.0),
+                badge("c", "office-2", 3.0),
+            ]
+        )
+        assert engine.activations["at-desk"] == 2
+        assert engine.total_activations() == 2
+
+    def test_spurious_activations_tracked(self):
+        situation = Situation("any", lambda ctx, view: True)
+        middleware, engine = self._middleware([situation])
+        middleware.receive_all(
+            [
+                badge("a", "office-2", 1.0),
+                badge("b", "office-2", 2.0, corrupted=True),
+            ]
+        )
+        assert engine.total_activations() == 2
+        assert engine.total_spurious() == 1
+
+    def test_activation_event_published(self):
+        situation = Situation("any", lambda ctx, view: True)
+        middleware, engine = self._middleware([situation])
+        events = []
+        middleware.bus.subscribe(SituationActivated, events.append)
+        middleware.receive_all([badge("a", "office-2", 1.0)])
+        assert len(events) == 1
+        assert events[0].situation == "any"
+
+    def test_undelivered_contexts_do_not_activate(self):
+        """A context discarded by resolution never reaches situations."""
+        checker = ConstraintChecker(
+            [
+                parse_constraint(
+                    "no-teleport",
+                    "forall b1 in badge, forall b2 in badge : "
+                    "(same_subject(b1, b2) and before(b1, b2) "
+                    "and within_time(b1, b2, 2.0)) "
+                    "implies value_eq(b2, 'office-2')",
+                )
+            ]
+        )
+        middleware = Middleware(
+            checker, make_strategy("drop-latest"), use_window=0
+        )
+        engine = SituationEngine(
+            [Situation("in-lab", lambda ctx, view: ctx.value == "lab")]
+        )
+        middleware.plug_in(engine)
+        middleware.receive_all(
+            [badge("a", "office-2", 1.0), badge("b", "lab", 2.0)]
+        )
+        # b violated the constraint, was discarded, never activated.
+        assert engine.activations["in-lab"] == 0
+
+    def test_reset(self):
+        situation = Situation("any", lambda ctx, view: True)
+        middleware, engine = self._middleware([situation])
+        middleware.receive_all([badge("a", "office-2", 1.0)])
+        engine.reset()
+        assert engine.total_activations() == 0
+        assert engine.view.recent() == []

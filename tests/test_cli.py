@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_compare_validates_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "unknown-app"])
+
+
+class TestScenarios:
+    def test_prints_walkthrough_table(self):
+        code, text = run_cli("scenarios")
+        assert code == 0
+        assert "D-Bad" in text
+        assert "D-Lat" in text
+        assert "NO" in text  # drop-latest fails scenario B
+
+
+class TestCompare:
+    def test_small_comparison_runs(self):
+        code, text = run_cli(
+            "compare",
+            "call-forwarding",
+            "--groups",
+            "1",
+            "--rates",
+            "0.3",
+        )
+        assert code == 0
+        assert "ctxUseRate" in text
+        assert "Opt-R" in text
+
+
+class TestCaseStudy:
+    def test_prints_section_5_2_metrics(self):
+        code, text = run_cli("case-study", "--seed", "3")
+        assert code == 0
+        assert "survival rate" in text
+        assert "Rule 2'" in text
+
+
+class TestTrace:
+    def test_record_then_replay(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        code, text = run_cli(
+            "trace",
+            "record",
+            "rfid",
+            "--out",
+            str(path),
+            "--err",
+            "0.2",
+            "--seed",
+            "3",
+        )
+        assert code == 0
+        assert "wrote" in text
+        assert path.exists()
+
+        code, text = run_cli(
+            "trace",
+            "replay",
+            str(path),
+            "--strategy",
+            "drop-bad",
+            "--window",
+            "20",
+        )
+        assert code == 0
+        assert "replayed" in text
+        assert "precision" in text
