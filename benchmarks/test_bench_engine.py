@@ -1,0 +1,60 @@
+"""Engine benchmark: sharded resolution throughput per shard count.
+
+The sharded engine's scope analysis splits independent constraint
+families onto separate shards, so each arrival pays pool-scan and
+checking-scope costs proportional to its own family instead of the
+whole deployment.  This benchmark measures contexts/second at 1, 2 and
+4 shards on the scalability workload (4 independent scope groups), and
+records the numbers machine-readably into
+``benchmarks/out/BENCH_engine.json``.
+
+Acceptance: 4 shards must be at least 2x the single-shard throughput.
+Decisions are asserted identical across all shard counts inside the
+runner -- sharding that changed any outcome would abort the benchmark.
+"""
+
+import pathlib
+
+from conftest import write_report
+
+from repro.engine import write_bench_json
+from repro.engine.workload import run_scalability_bench
+
+OUT_JSON = pathlib.Path(__file__).parent / "out" / "BENCH_engine.json"
+SHARD_COUNTS = (1, 2, 4)
+N_CONTEXTS = 2000
+
+
+def test_engine_scalability(benchmark):
+    def run():
+        return run_scalability_bench(
+            SHARD_COUNTS,
+            n_contexts=N_CONTEXTS,
+            use_window=20,
+            strategy="drop-latest",
+            mode="inline",
+            repeats=2,
+        )
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_shards = record["contexts_per_second_by_shards"]
+
+    lines = ["Engine scalability -- contexts/second by shard count",
+             f"(workload: {N_CONTEXTS} contexts, 4 independent scopes, "
+             "drop-latest, window 20)", ""]
+    for shards in sorted(by_shards, key=int):
+        row = by_shards[shards]
+        lines.append(
+            f"  {shards:>2} shard(s): {row['contexts_per_second']:>9.1f} ctx/s"
+            f"  ({row['elapsed_s']:.3f}s, {row['delivered']} delivered, "
+            f"{row['discarded']} discarded)"
+        )
+    for label, ratio in record["speedup"].items():
+        lines.append(f"  speedup {label}: {ratio:.2f}x")
+    write_report("engine_scalability", "\n".join(lines))
+    write_bench_json(OUT_JSON, "engine_scalability", record)
+
+    speedup = record["speedup"]["4_shards_vs_1"]
+    assert speedup >= 2.0, (
+        f"expected >= 2x throughput at 4 shards vs 1, measured {speedup}x"
+    )

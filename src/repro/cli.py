@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro ablation tiebreak
     python -m repro trace record rfid --out stream.jsonl --err 0.3
     python -m repro trace replay stream.jsonl --strategy drop-bad
+    python -m repro engine run rfid --shards 4 --strategy drop-bad
+    python -m repro engine bench --shards 1 2 4 --contexts 2000
 """
 
 from __future__ import annotations
@@ -99,6 +101,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--window", type=int, default=10)
 
+    engine = commands.add_parser(
+        "engine", help="run the sharded streaming resolution engine"
+    )
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+    engine_run = engine_sub.add_parser(
+        "run", help="resolve an application workload on the engine"
+    )
+    engine_run.add_argument("app", choices=sorted(_APPS))
+    engine_run.add_argument("--shards", type=int, default=4)
+    engine_run.add_argument(
+        "--strategy", default="drop-bad", choices=strategy_names()
+    )
+    engine_run.add_argument(
+        "--mode", default="inline", choices=["inline", "local", "process"]
+    )
+    engine_run.add_argument("--err", type=float, default=0.3)
+    engine_run.add_argument("--seed", type=int, default=1)
+    engine_run.add_argument("--window", type=int, default=None)
+    engine_run.add_argument("--delay", type=float, default=None)
+    engine_run.add_argument("--batch-size", type=int, default=64)
+    engine_bench = engine_sub.add_parser(
+        "bench", help="measure engine throughput per shard count"
+    )
+    engine_bench.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4]
+    )
+    engine_bench.add_argument("--contexts", type=int, default=2000)
+    engine_bench.add_argument(
+        "--strategy", default="drop-latest", choices=strategy_names()
+    )
+    engine_bench.add_argument(
+        "--mode", default="inline", choices=["inline", "local", "process"]
+    )
+    engine_bench.add_argument("--window", type=int, default=20)
+    engine_bench.add_argument("--repeats", type=int, default=2)
+    engine_bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also merge the record into a BENCH_engine.json file",
+    )
+
     return parser
 
 
@@ -159,7 +203,7 @@ def _cmd_trace(args, out) -> int:
         count = write_trace(contexts, args.out)
         print(f"wrote {count} contexts to {args.out}", file=out)
         return 0
-    contexts = read_trace(args.path)
+    contexts = list(read_trace(args.path))
     types = {c.ctx_type for c in contexts}
     if "rfid_read" in types:
         app = RFIDAnomaliesApp()
@@ -188,6 +232,85 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_engine(args, out) -> int:
+    from .engine import EngineConfig, ShardedEngine, write_bench_json
+    from .engine.workload import run_scalability_bench
+
+    if args.engine_command == "bench":
+        try:
+            record = run_scalability_bench(
+                tuple(args.shards),
+                n_contexts=args.contexts,
+                use_window=args.window,
+                strategy=args.strategy,
+                mode=args.mode,
+                repeats=args.repeats,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        by_shards = record["contexts_per_second_by_shards"]
+        print("Engine scalability -- contexts/second by shard count", file=out)
+        for shards in sorted(by_shards, key=int):
+            row = by_shards[shards]
+            print(
+                f"  {shards:>2} shard(s): {row['contexts_per_second']:>9.1f} ctx/s"
+                f"  ({row['elapsed_s']:.3f}s, "
+                f"{row['delivered']} delivered / {row['discarded']} discarded)",
+                file=out,
+            )
+        for label, ratio in record["speedup"].items():
+            print(f"  speedup {label}: {ratio:.2f}x", file=out)
+        if args.json:
+            write_bench_json(args.json, "engine_scalability", record)
+            print(f"record merged into {args.json}", file=out)
+        return 0
+
+    app_cls, defaults = _APPS[args.app]
+    app = app_cls()
+    contexts = app.generate_workload(args.err, seed=args.seed)
+    checker = app.build_checker()
+    use_window = (
+        args.window if args.window is not None else defaults["use_window"]
+    )
+    try:
+        config = EngineConfig(
+            shards=args.shards,
+            mode=args.mode,
+            use_window=use_window,
+            use_delay=args.delay,
+            batch_size=args.batch_size,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    engine = ShardedEngine(
+        checker.constraints(),
+        strategy=args.strategy,
+        registry_factory=app.build_registry,
+        config=config,
+    )
+    result = engine.run(contexts)
+    metrics = result.metrics
+    print(
+        f"engine resolved {metrics.contexts_total} contexts on "
+        f"{metrics.shards} shard(s) [{metrics.mode}] in "
+        f"{metrics.elapsed_s:.3f}s ({metrics.contexts_per_second:.0f} ctx/s):\n"
+        f"  delivered {metrics.delivered_total}, "
+        f"discarded {metrics.discarded_total}, "
+        f"inconsistencies {metrics.inconsistencies_total}",
+        file=out,
+    )
+    for stats in metrics.per_shard:
+        print(
+            f"  shard {stats.shard_id}: {stats.constraints} constraints, "
+            f"{stats.contexts} contexts, {stats.delivered} delivered, "
+            f"{stats.discarded} discarded",
+            file=out,
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -212,4 +335,6 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "engine":
+        return _cmd_engine(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

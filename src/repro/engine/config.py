@@ -1,0 +1,86 @@
+"""Engine configuration.
+
+One frozen dataclass collects every tunable of the sharded engine so
+the CLI, the benchmarks and the tests construct engines the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["EngineConfig"]
+
+#: Execution modes.
+#:
+#: * ``inline`` -- every shard runs in-process behind a single global
+#:   control loop that preserves the single-pool middleware's use
+#:   schedule exactly (deterministic mode; bit-for-bit decision
+#:   equivalence for both window kinds).
+#: * ``local`` -- shards still run in-process but each consumes its
+#:   own sub-stream with shard-local windows (the decomposition the
+#:   process mode uses, without the processes; useful for testing it).
+#: * ``process`` -- shards run in worker processes
+#:   (``concurrent.futures.ProcessPoolExecutor``) fed through bounded
+#:   queues in batches; windows are shard-local.  With time-based
+#:   windows and timestamp-ordered streams this is decision-equivalent
+#:   to ``inline`` (see docs/engine.md).
+MODES = ("inline", "local", "process")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of a :class:`~repro.engine.facade.ShardedEngine` run.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards to spread the constraint scopes over (>= 1).
+        Independent scopes are packed onto shards balancing estimated
+        load; asking for more shards than there are independent scopes
+        leaves the surplus shards empty.
+    mode:
+        ``inline`` (default, deterministic), ``local`` or ``process``.
+    use_window:
+        Count-based use window (arrivals before a context is used),
+        exactly as in :class:`~repro.middleware.manager.Middleware`.
+        Ignored when ``use_delay`` is set.
+    use_delay:
+        Time-based use window (simulated seconds).
+    batch_size:
+        Contexts per batch handed to a shard worker (process mode).
+    max_queue_batches:
+        Bound of each shard's input queue, in batches.  When a queue
+        is full the router blocks -- backpressure that keeps memory
+        proportional to ``shards * max_queue_batches * batch_size``
+        however long the stream is.
+    """
+
+    shards: int = 4
+    mode: str = "inline"
+    use_window: int = 4
+    use_delay: Optional[float] = None
+    batch_size: int = 64
+    max_queue_batches: int = 8
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.use_window < 0:
+            raise ValueError(f"use_window must be >= 0, got {self.use_window}")
+        if self.use_delay is not None and self.use_delay < 0:
+            raise ValueError(f"use_delay must be >= 0, got {self.use_delay}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_queue_batches < 1:
+            raise ValueError(
+                f"max_queue_batches must be >= 1, got {self.max_queue_batches}"
+            )
+
+    def with_shards(self, shards: int) -> "EngineConfig":
+        """This configuration with a different shard count."""
+        return replace(self, shards=shards)

@@ -1,0 +1,301 @@
+"""The engine facade: sharded, batched streaming resolution.
+
+:class:`ShardedEngine` is the drop-in scalable counterpart of
+:class:`~repro.middleware.manager.Middleware`: same constraints, same
+strategies, same event vocabulary, same decisions -- but the pool, the
+incremental checker and the strategy are instantiated once per
+independent constraint scope, so disjoint scopes never pay for each
+other's pool scans and can execute on separate worker processes.
+
+Three execution modes (see :mod:`repro.engine.config`):
+
+* ``inline`` -- one global control loop drives all shards through the
+  exact use schedule of the single-pool middleware.  Deterministic,
+  decision-identical for both window kinds; events stream live on
+  ``engine.bus`` in global order.
+* ``local`` -- each shard consumes its own sub-stream with shard-local
+  windows, sequentially in-process.  The decomposition process mode
+  uses, minus the processes.
+* ``process`` -- shards run in worker processes
+  (:mod:`concurrent.futures`), fed batches through bounded queues with
+  backpressure.  Falls back to ``local`` when process pools are
+  unavailable.  Events are merged into deterministic timestamp order
+  after the run and re-published on ``engine.bus``.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..constraints.ast import Constraint
+from ..constraints.builtins import FunctionRegistry, standard_registry
+from ..core.context import Context
+from ..middleware.bus import ContextDelivered, ContextDiscarded, Event, EventBus
+from .config import EngineConfig
+from .merge import EngineResult, merge_events
+from .metrics import EngineMetrics, ShardStats
+from .router import ContextRouter
+from .scope import partition_constraints
+from .shard import (
+    ShardPipeline,
+    ShardRunResult,
+    ShardSpec,
+    StreamDriver,
+    run_shard_from_queue,
+    run_shard_substream,
+)
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine:
+    """Sharded streaming resolution over independent constraint scopes.
+
+    Parameters
+    ----------
+    constraints:
+        The consistency constraints to enforce (uniquely named).
+    strategy:
+        Registered strategy name instantiated once per shard; each
+        shard owns an independent instance, which is safe because
+        every inconsistency is confined to one scope group.
+        Stochastic strategies (``drop-random``) are not decision-
+        equivalent to the single-pool middleware -- the per-shard RNGs
+        draw in a different order.
+    strategy_kwargs:
+        Keyword arguments for the strategy factory (must be picklable
+        for process mode).
+    registry_factory:
+        Zero-argument callable building the predicate registry each
+        shard's checker uses.  Must be a module-level callable for
+        process mode; defaults to the standard library registry.
+    config:
+        Engine tunables (shards, mode, windows, batching).
+    """
+
+    def __init__(
+        self,
+        constraints: Iterable[Constraint],
+        *,
+        strategy: str = "drop-latest",
+        strategy_kwargs: Optional[dict] = None,
+        registry_factory: Callable[[], FunctionRegistry] = standard_registry,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.constraints = tuple(constraints)
+        self.strategy_name = strategy
+        self.strategy_kwargs = tuple(sorted((strategy_kwargs or {}).items()))
+        self.registry_factory = registry_factory
+        self.partition = partition_constraints(self.constraints, self.config.shards)
+        self.router = ContextRouter(self.partition)
+        #: Outward event stream (same vocabulary as ``Middleware.bus``).
+        self.bus = EventBus()
+
+    # -- construction helpers ----------------------------------------------
+
+    def shard_specs(self) -> List[ShardSpec]:
+        return [
+            ShardSpec(
+                shard_id=shard_id,
+                constraints=self.partition.shard_constraints[shard_id],
+                strategy=self.strategy_name,
+                strategy_kwargs=self.strategy_kwargs,
+                registry_factory=self.registry_factory,
+                use_window=self.config.use_window,
+                use_delay=self.config.use_delay,
+            )
+            for shard_id in range(self.config.shards)
+        ]
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, contexts: Iterable[Context]) -> EngineResult:
+        """Resolve a whole stream; returns the aggregated result.
+
+        ``contexts`` may be any iterable (including a lazy trace
+        reader); inline and process modes consume it streamingly.
+        """
+        self.router.routed = {i: 0 for i in range(self.config.shards)}
+        started = time.perf_counter()
+        if self.config.mode == "inline":
+            result = self._run_inline(contexts)
+        elif self.config.mode == "local":
+            result = self._run_substreams(contexts, executed_mode="local")
+        else:
+            result = self._run_process(contexts)
+        result.metrics.elapsed_s = time.perf_counter() - started
+        return result
+
+    # -- inline (deterministic) mode -----------------------------------------
+
+    def _run_inline(self, contexts: Iterable[Context]) -> EngineResult:
+        specs = self.shard_specs()
+        pipelines: List[ShardPipeline] = []
+        for spec in specs:
+            pipeline = spec.build()
+            pipeline.bus = self.bus
+            pipelines.append(pipeline)
+        events: List[Event] = []
+        self.bus.subscribe(Event, events.append)
+        driver = StreamDriver(
+            pipelines,
+            self.router.route,
+            use_window=self.config.use_window,
+            use_delay=self.config.use_delay,
+        )
+        driver.receive_all(contexts)
+        return self._collect_inline(pipelines, events)
+
+    def _collect_inline(
+        self, pipelines: Sequence[ShardPipeline], events: List[Event]
+    ) -> EngineResult:
+        delivered = [e.context for e in events if isinstance(e, ContextDelivered)]
+        discarded = [e.context for e in events if isinstance(e, ContextDiscarded)]
+        per_shard = []
+        inconsistencies = 0
+        for pipeline in pipelines:
+            log = pipeline.resolution.log
+            inconsistencies += len(log.detected)
+            per_shard.append(
+                ShardStats(
+                    shard_id=pipeline.shard_id,
+                    constraints=len(
+                        self.partition.shard_constraints[pipeline.shard_id]
+                    ),
+                    contexts=pipeline.arrivals,
+                    delivered=len(log.delivered),
+                    discarded=len(log.discarded),
+                    inconsistencies=len(log.detected),
+                    detect_calls=pipeline.detect_calls(),
+                )
+            )
+        metrics = EngineMetrics(
+            mode="inline",
+            shards=self.config.shards,
+            contexts_total=sum(s.contexts for s in per_shard),
+            delivered_total=len(delivered),
+            discarded_total=len(discarded),
+            inconsistencies_total=inconsistencies,
+            per_shard=per_shard,
+        )
+        return EngineResult(
+            delivered=delivered,
+            discarded=discarded,
+            events=events,
+            metrics=metrics,
+        )
+
+    # -- shard-local decomposition (local + process modes) ---------------------
+
+    def _split(self, contexts: Iterable[Context]) -> List[List[Context]]:
+        substreams: List[List[Context]] = [[] for _ in range(self.config.shards)]
+        for ctx in contexts:
+            substreams[self.router.route(ctx)].append(ctx)
+        return substreams
+
+    def _run_substreams(
+        self, contexts: Iterable[Context], executed_mode: str
+    ) -> EngineResult:
+        specs = self.shard_specs()
+        substreams = self._split(contexts)
+        results = [
+            run_shard_substream(spec, substream)
+            for spec, substream in zip(specs, substreams)
+        ]
+        return self._collect_shard_results(results, executed_mode)
+
+    def _run_process(self, contexts: Iterable[Context]) -> EngineResult:
+        try:
+            results = self._run_process_pool(contexts)
+        except Exception:
+            # Process pools can be unavailable (restricted sandboxes,
+            # unpicklable registries); the decomposition is the same
+            # either way, only the executor changes.
+            return self._run_substreams(contexts, executed_mode="process-fallback")
+        return self._collect_shard_results(results, executed_mode="process")
+
+    def _run_process_pool(
+        self, contexts: Iterable[Context]
+    ) -> List[ShardRunResult]:
+        import concurrent.futures
+        import multiprocessing
+
+        specs = self.shard_specs()
+        config = self.config
+        with multiprocessing.Manager() as manager:
+            queues = [
+                manager.Queue(maxsize=config.max_queue_batches) for _ in specs
+            ]
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=len(specs)
+            ) as executor:
+                futures = [
+                    executor.submit(run_shard_from_queue, spec, queue)
+                    for spec, queue in zip(specs, queues)
+                ]
+                batches: List[List[Context]] = [[] for _ in specs]
+                for ctx in contexts:
+                    shard = self.router.route(ctx)
+                    batches[shard].append(ctx)
+                    if len(batches[shard]) >= config.batch_size:
+                        self._put(queues[shard], batches[shard], futures[shard])
+                        batches[shard] = []
+                for shard, batch in enumerate(batches):
+                    if batch:
+                        self._put(queues[shard], batch, futures[shard])
+                for shard, queue in enumerate(queues):
+                    self._put(queue, None, futures[shard])
+                return [future.result() for future in futures]
+
+    @staticmethod
+    def _put(queue, item, future) -> None:
+        """Blocking put with backpressure that notices dead workers."""
+        while True:
+            try:
+                queue.put(item, timeout=1.0)
+                return
+            except queue_module.Full:
+                if future.done():
+                    future.result()  # surfaces the worker's exception
+                    raise RuntimeError(
+                        "shard worker exited while its queue was full"
+                    )
+
+    def _collect_shard_results(
+        self, results: Sequence[ShardRunResult], executed_mode: str
+    ) -> EngineResult:
+        events = merge_events([r.events for r in results])
+        delivered = [e.context for e in events if isinstance(e, ContextDelivered)]
+        discarded = [e.context for e in events if isinstance(e, ContextDiscarded)]
+        per_shard = [
+            ShardStats(
+                shard_id=r.shard_id,
+                constraints=len(self.partition.shard_constraints[r.shard_id]),
+                contexts=int(r.stats.get("contexts", 0)),
+                delivered=len(r.delivered),
+                discarded=len(r.discarded),
+                inconsistencies=int(r.stats.get("inconsistencies", 0)),
+                detect_calls=int(r.stats.get("detect_calls", 0)),
+            )
+            for r in results
+        ]
+        metrics = EngineMetrics(
+            mode=executed_mode,
+            shards=self.config.shards,
+            contexts_total=sum(s.contexts for s in per_shard),
+            delivered_total=len(delivered),
+            discarded_total=len(discarded),
+            inconsistencies_total=sum(s.inconsistencies for s in per_shard),
+            per_shard=per_shard,
+        )
+        for event in events:
+            self.bus.publish(event)
+        return EngineResult(
+            delivered=delivered,
+            discarded=discarded,
+            events=events,
+            metrics=metrics,
+        )

@@ -1,0 +1,68 @@
+"""Deterministic merging of per-shard results.
+
+In inline mode every shard publishes onto one shared bus, so the event
+stream is already globally ordered.  In local/process mode each shard
+records its own event list; :func:`merge_events` interleaves them into
+one deterministic stream ordered by simulation time (stable within a
+shard, ties across shards broken by shard id) -- the same observable
+surface ``Middleware`` exposes, reconstructed after the fact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.context import Context
+from ..middleware.bus import Event
+from .metrics import EngineMetrics
+
+__all__ = ["merge_events", "EngineResult"]
+
+
+def merge_events(per_shard_events: Sequence[Sequence[Event]]) -> List[Event]:
+    """Merge shard event streams into deterministic timestamp order.
+
+    Each shard's stream is already time-ordered (simulation clocks are
+    monotone), so this is a k-way merge on ``(at, shard_id, seq)``:
+    within one timestamp, shard-internal order is preserved and shards
+    are interleaved lowest-id first.
+    """
+    keyed = []
+    for shard_id, events in enumerate(per_shard_events):
+        keyed.append(
+            [(event.at, shard_id, seq, event) for seq, event in enumerate(events)]
+        )
+    return [entry[3] for entry in heapq.merge(*keyed)]
+
+
+@dataclass
+class EngineResult:
+    """Aggregated outcome of one engine run.
+
+    ``delivered``/``discarded`` are in decision order; ``events`` is
+    the merged, deterministic event stream; ``metrics`` carries the
+    throughput/per-shard numbers the benchmarks record.
+    """
+
+    delivered: List[Context] = field(default_factory=list)
+    discarded: List[Context] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    metrics: EngineMetrics = field(default_factory=EngineMetrics)
+
+    @property
+    def delivered_ids(self) -> List[str]:
+        return [c.ctx_id for c in self.delivered]
+
+    @property
+    def discarded_ids(self) -> List[str]:
+        return [c.ctx_id for c in self.discarded]
+
+    def decision_signature(self) -> Dict[str, List[str]]:
+        """The engine's externally visible decisions, for equivalence
+        checks against the single-pool middleware."""
+        return {
+            "delivered": self.delivered_ids,
+            "discarded": self.discarded_ids,
+        }

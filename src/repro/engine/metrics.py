@@ -1,0 +1,79 @@
+"""Engine metrics and machine-readable benchmark output.
+
+``BENCH_engine.json`` (written under ``benchmarks/out/`` next to the
+textual reports) records contexts/second per shard count so tooling
+can track scalability across commits without parsing tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = ["ShardStats", "EngineMetrics", "write_bench_json"]
+
+
+@dataclass
+class ShardStats:
+    """Per-shard accounting of one engine run."""
+
+    shard_id: int
+    constraints: int = 0
+    contexts: int = 0
+    delivered: int = 0
+    discarded: int = 0
+    inconsistencies: int = 0
+    detect_calls: int = 0
+
+
+@dataclass
+class EngineMetrics:
+    """Whole-run accounting: totals, per-shard stats, throughput."""
+
+    mode: str = "inline"
+    shards: int = 1
+    contexts_total: int = 0
+    delivered_total: int = 0
+    discarded_total: int = 0
+    inconsistencies_total: int = 0
+    elapsed_s: float = 0.0
+    per_shard: List[ShardStats] = field(default_factory=list)
+
+    @property
+    def contexts_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.contexts_total / self.elapsed_s
+
+    def summary(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["contexts_per_second"] = round(self.contexts_per_second, 1)
+        return data
+
+
+def write_bench_json(
+    path: Union[str, Path], workload: str, record: Dict[str, object]
+) -> Dict[str, object]:
+    """Merge ``record`` under ``workload`` into the JSON file at ``path``.
+
+    Existing entries for other workloads are preserved, so the
+    scalability benchmark and the engine benchmark can both contribute
+    to one ``BENCH_engine.json``.  Returns the full document written.
+    """
+    path = Path(path)
+    document: Dict[str, object] = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document[workload] = record
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document

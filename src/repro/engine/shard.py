@@ -1,0 +1,372 @@
+"""Shard pipelines: per-shard pool + checker + strategy execution.
+
+A :class:`ShardPipeline` owns one :class:`~repro.middleware.pool.ContextPool`,
+one detector and one strategy instance, and applies the two context
+changes exactly as :class:`~repro.middleware.manager.Middleware` does --
+but against the shard-local pool only, and with use scheduling factored
+out so a caller can drive it (the engine facade drives all shards from
+one global schedule; a worker process drives its shard from its own).
+
+:class:`StreamDriver` is that factored-out schedule: the clock, the
+arrival counter and the pending-use queue of ``Middleware.receive``,
+generalized to dispatch each context to one of several pipelines.
+Driving *n* pipelines through one driver reproduces the single-pool
+middleware's use schedule globally; driving one pipeline per driver
+gives the shard-local schedule worker processes use.
+
+Module-level functions (:func:`run_shard_substream`,
+:func:`run_shard_from_queue`) are the process-pool entry points; a
+:class:`ShardSpec` carries everything a worker needs to rebuild its
+pipeline, in picklable form.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..constraints.ast import Constraint
+from ..constraints.builtins import FunctionRegistry, standard_registry
+from ..constraints.checker import ConstraintChecker
+from ..core.context import Context
+from ..core.resolver import AddOutcome, ResolutionService, UseOutcome
+from ..core.strategy import ResolutionStrategy, make_strategy
+from ..middleware.bus import (
+    ContextAdmitted,
+    ContextBuffered,
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+    ContextMarkedBad,
+    ContextReceived,
+    Event,
+    EventBus,
+    InconsistencyDetected,
+)
+from ..middleware.clock import SimulationClock
+from ..middleware.pool import ContextPool
+
+__all__ = [
+    "ShardPipeline",
+    "StreamDriver",
+    "ShardSpec",
+    "ShardRunResult",
+    "run_shard_substream",
+    "run_shard_from_queue",
+]
+
+
+class ShardPipeline:
+    """One shard's pool, detector and strategy, externally scheduled.
+
+    The ``add``/``use``/``expire_due`` methods mirror the corresponding
+    steps of ``Middleware.receive``/``use``/``_expire`` verbatim,
+    against the shard-local pool.  Expiry is guarded by a min-heap of
+    pending expiries so streams of immortal contexts pay O(1) per
+    arrival instead of a full pool scan.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        detector,
+        strategy: ResolutionStrategy,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.pool = ContextPool()
+        self.resolution = ResolutionService(detector, strategy)
+        self.bus = bus if bus is not None else EventBus()
+        self._expiry_heap: List[Tuple[float, int, Context]] = []
+        self._heap_seq = 0
+        #: Contexts this shard has processed (arrivals routed here).
+        self.arrivals = 0
+        self.uses = 0
+
+    @property
+    def strategy(self) -> ResolutionStrategy:
+        return self.resolution.strategy
+
+    # -- the context addition change (Middleware.receive core) ------------
+
+    def add(self, ctx: Context, now: float) -> AddOutcome:
+        """Check ``ctx`` against the shard pool and apply the strategy.
+
+        Returns the strategy outcome; the caller schedules the context
+        for use iff it survived (``ctx not in outcome.discarded``) and
+        unschedules the victims.
+        """
+        self.arrivals += 1
+        existing = [c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id]
+        detected_before = len(self.resolution.log.detected)
+        outcome = self.resolution.handle_addition(ctx, existing, now)
+        self.bus.publish(ContextReceived(at=now, context=ctx))
+        for inconsistency in self.resolution.log.detected[detected_before:]:
+            self.bus.publish(
+                InconsistencyDetected(at=now, inconsistency=inconsistency)
+            )
+
+        discarded_ids = {c.ctx_id for c in outcome.discarded}
+        if ctx.ctx_id not in discarded_ids:
+            self.pool.add(ctx)
+            if ctx.expiry != float("inf"):
+                self._heap_seq += 1
+                heapq.heappush(
+                    self._expiry_heap, (ctx.expiry, self._heap_seq, ctx)
+                )
+        for victim in outcome.discarded:
+            self.pool.remove(victim)
+            self.bus.publish(ContextDiscarded(at=now, context=victim))
+        for admitted in outcome.admitted:
+            self.bus.publish(ContextAdmitted(at=now, context=admitted))
+        if outcome.buffered:
+            self.bus.publish(ContextBuffered(at=now, context=ctx))
+        return outcome
+
+    # -- the context deletion (use) change ---------------------------------
+
+    def use(self, ctx: Context, now: float) -> UseOutcome:
+        """An application uses ``ctx``; mirrors ``Middleware.use``."""
+        self.uses += 1
+        outcome = self.resolution.handle_use(ctx, now)
+        for bad in outcome.newly_bad:
+            self.bus.publish(ContextMarkedBad(at=now, context=bad))
+        for victim in outcome.discarded:
+            self.pool.remove(victim)
+            self.bus.publish(ContextDiscarded(at=now, context=victim))
+        if outcome.delivered:
+            self.bus.publish(ContextDelivered(at=now, context=ctx))
+        return outcome
+
+    # -- expiry -------------------------------------------------------------
+
+    def expire_due(self, now: float) -> List[Context]:
+        """Remove every pooled context whose availability period passed.
+
+        The heap makes the no-expiry case O(1); entries for contexts
+        that were discarded first are skipped lazily.
+        """
+        expired: List[Context] = []
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= now:
+            _, _, ctx = heapq.heappop(heap)
+            live = self.pool.get(ctx.ctx_id)
+            if live is None:
+                continue
+            self.pool.remove(live)
+            self.resolution.strategy.delta.resolve_involving(live)
+            self.bus.publish(ContextExpired(at=now, context=live))
+            expired.append(live)
+        return expired
+
+    # -- diagnostics --------------------------------------------------------
+
+    def detect_calls(self) -> int:
+        detector = self.resolution.detector
+        return getattr(detector, "detect_calls", 0)
+
+
+class StreamDriver:
+    """Global use scheduling over one or more shard pipelines.
+
+    Reproduces the window bookkeeping of ``Middleware.receive`` -- the
+    shared clock, the admitted-arrival counter, the pending-use queue,
+    both window semantics, and the ordering of expiry, draining,
+    checking and use around each arrival -- while the per-context pool
+    work happens in whichever pipeline ``route`` selects.
+    """
+
+    def __init__(
+        self,
+        pipelines: Sequence[ShardPipeline],
+        route: Callable[[Context], int],
+        *,
+        use_window: int = 4,
+        use_delay: Optional[float] = None,
+    ) -> None:
+        if use_window < 0:
+            raise ValueError(f"use_window must be >= 0, got {use_window}")
+        if use_delay is not None and use_delay < 0:
+            raise ValueError(f"use_delay must be >= 0, got {use_delay}")
+        self.pipelines = list(pipelines)
+        self.route = route
+        self.use_window = use_window
+        self.use_delay = use_delay
+        self.clock = SimulationClock()
+        self._pending_use: Deque[Tuple[Context, int, int, float]] = deque()
+        self._arrivals = 0
+        self.delivered: List[Context] = []
+
+    # -- arrivals -----------------------------------------------------------
+
+    def receive(self, ctx: Context) -> None:
+        now = max(self.clock.now(), ctx.timestamp)
+        self.clock.advance_to(now)
+        for pipeline in self.pipelines:
+            for expired in pipeline.expire_due(now):
+                self._unschedule(expired)
+        if self.use_delay is not None:
+            self._drain_due_uses(now)
+
+        pipeline_index = self.route(ctx)
+        pipeline = self.pipelines[pipeline_index]
+        outcome = pipeline.add(ctx, now)
+        discarded_ids = {c.ctx_id for c in outcome.discarded}
+        if ctx.ctx_id not in discarded_ids:
+            self._arrivals += 1
+            self._pending_use.append((ctx, pipeline_index, self._arrivals, now))
+        for victim in outcome.discarded:
+            self._unschedule(victim)
+
+        self._drain_due_uses(now)
+
+    def receive_all(self, contexts: Iterable[Context]) -> None:
+        for ctx in contexts:
+            self.receive(ctx)
+        self.flush_uses()
+
+    # -- uses ---------------------------------------------------------------
+
+    def flush_uses(self) -> None:
+        while self._pending_use:
+            ctx, pipeline_index, _, _ = self._pending_use.popleft()
+            self._use(ctx, pipeline_index)
+
+    def _use(self, ctx: Context, pipeline_index: int) -> None:
+        now = self.clock.now()
+        outcome = self.pipelines[pipeline_index].use(ctx, now)
+        for victim in outcome.discarded:
+            self._unschedule(victim)
+        if outcome.delivered:
+            self.delivered.append(ctx)
+
+    def _drain_due_uses(self, now: float) -> None:
+        def head_is_due() -> bool:
+            if not self._pending_use:
+                return False
+            _, _, arrival_index, arrived_at = self._pending_use[0]
+            if self.use_delay is not None:
+                return now >= arrived_at + self.use_delay
+            return self._arrivals - arrival_index >= self.use_window
+
+        while head_is_due():
+            ctx, pipeline_index, _, _ = self._pending_use.popleft()
+            self._use(ctx, pipeline_index)
+
+    def _unschedule(self, ctx: Context) -> None:
+        self._pending_use = deque(
+            entry for entry in self._pending_use if entry[0].ctx_id != ctx.ctx_id
+        )
+
+
+# -- process-mode plumbing ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to rebuild one shard.
+
+    All fields must be picklable: the constraint ASTs and contexts are
+    plain frozen dataclasses; ``registry_factory`` and custom strategy
+    factories must be module-level callables.
+    """
+
+    shard_id: int
+    constraints: Tuple[Constraint, ...]
+    strategy: str = "drop-latest"
+    strategy_kwargs: Tuple[Tuple[str, object], ...] = ()
+    registry_factory: Callable[[], FunctionRegistry] = standard_registry
+    use_window: int = 4
+    use_delay: Optional[float] = None
+
+    def build(self) -> ShardPipeline:
+        checker = ConstraintChecker(
+            self.constraints, registry=self.registry_factory()
+        )
+        strategy = make_strategy(self.strategy, **dict(self.strategy_kwargs))
+        return ShardPipeline(self.shard_id, checker, strategy)
+
+
+@dataclass
+class ShardRunResult:
+    """What one shard's run produced, in merge-ready form."""
+
+    shard_id: int
+    events: List[Event] = field(default_factory=list)
+    delivered: List[Context] = field(default_factory=list)
+    discarded: List[Context] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def _drive_substream(
+    spec: ShardSpec, batches: Iterable[Sequence[Context]]
+) -> ShardRunResult:
+    """Run one shard over its sub-stream with shard-local windows."""
+    started = time.perf_counter()
+    pipeline = spec.build()
+    events: List[Event] = []
+    pipeline.bus.subscribe(Event, events.append)
+    driver = StreamDriver(
+        [pipeline],
+        lambda _ctx: 0,
+        use_window=spec.use_window,
+        use_delay=spec.use_delay,
+    )
+    total = 0
+    for batch in batches:
+        total += len(batch)
+        for ctx in batch:
+            driver.receive(ctx)
+    driver.flush_uses()
+    elapsed = time.perf_counter() - started
+    log = pipeline.resolution.log
+    return ShardRunResult(
+        shard_id=spec.shard_id,
+        events=events,
+        delivered=list(log.delivered),
+        discarded=list(log.discarded),
+        stats={
+            "contexts": float(total),
+            "detect_calls": float(pipeline.detect_calls()),
+            "inconsistencies": float(len(log.detected)),
+            "elapsed_s": elapsed,
+        },
+    )
+
+
+def run_shard_substream(
+    spec: ShardSpec, contexts: Sequence[Context]
+) -> ShardRunResult:
+    """Process-pool entry point: one shard, its whole sub-stream."""
+    return _drive_substream(spec, [contexts])
+
+
+def run_shard_from_queue(spec: ShardSpec, queue) -> ShardRunResult:
+    """Process-pool entry point: one shard fed batches through a queue.
+
+    ``queue`` is a (manager-proxied) bounded queue of context batches;
+    ``None`` is the end-of-stream sentinel.  The bounded queue is what
+    gives the engine backpressure: the router blocks once a shard falls
+    ``max_queue_batches`` batches behind.
+    """
+
+    def batches():
+        while True:
+            batch = queue.get()
+            if batch is None:
+                return
+            yield batch
+
+    return _drive_substream(spec, batches())

@@ -12,6 +12,7 @@ from .bus import (
     EventBus,
     InconsistencyDetected,
     SituationActivated,
+    SubscriberError,
 )
 from .clock import SimulationClock
 from .logging_service import LoggingService
@@ -33,6 +34,7 @@ __all__ = [
     "ContextExpired",
     "InconsistencyDetected",
     "SituationActivated",
+    "SubscriberError",
     "SimulationClock",
     "LoggingService",
     "Middleware",

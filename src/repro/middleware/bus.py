@@ -8,7 +8,8 @@ metrics collector all observe the same stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Type, TypeVar
 
 from ..core.context import Context
@@ -25,8 +26,11 @@ __all__ = [
     "ContextExpired",
     "InconsistencyDetected",
     "SituationActivated",
+    "SubscriberError",
     "EventBus",
 ]
+
+_log = logging.getLogger("repro.middleware")
 
 
 @dataclass(frozen=True)
@@ -100,6 +104,20 @@ class SituationActivated(Event):
     context: Context
 
 
+@dataclass(frozen=True)
+class SubscriberError(Event):
+    """A subscriber callback raised while handling an event.
+
+    Published so observers (e.g. :class:`LoggingService`) can surface
+    faulty application callbacks; the failing handler is skipped and
+    delivery to the remaining subscribers continues.
+    """
+
+    event_type: str
+    handler: str
+    error: str
+
+
 E = TypeVar("E", bound=Event)
 Handler = Callable[[Event], None]
 
@@ -109,11 +127,19 @@ class EventBus:
 
     Handlers subscribed to a base class also receive subclass events,
     so ``bus.subscribe(Event, tap)`` observes everything.
+
+    Subscribers are isolated from each other: a handler that raises is
+    logged, counted in :attr:`subscriber_failures`, reported through a
+    :class:`SubscriberError` event, and skipped -- one faulty
+    application callback cannot kill the pipeline or starve the other
+    subscribers.
     """
 
     def __init__(self) -> None:
         self._handlers: Dict[Type[Event], List[Handler]] = {}
         self.published: int = 0
+        #: Handler invocations that raised (across all event types).
+        self.subscriber_failures: int = 0
 
     def subscribe(self, event_type: Type[E], handler: Callable[[E], None]) -> None:
         """Register ``handler`` for events of ``event_type`` (and subtypes)."""
@@ -122,10 +148,35 @@ class EventBus:
     def publish(self, event: Event) -> None:
         """Deliver ``event`` synchronously to all matching handlers."""
         self.published += 1
+        failures: List[SubscriberError] = []
         for event_type, handlers in self._handlers.items():
             if isinstance(event, event_type):
                 for handler in list(handlers):
-                    handler(event)
+                    try:
+                        handler(event)
+                    except Exception as error:
+                        self.subscriber_failures += 1
+                        name = getattr(handler, "__qualname__", repr(handler))
+                        _log.exception(
+                            "subscriber %s failed handling %s: %s",
+                            name,
+                            type(event).__name__,
+                            error,
+                        )
+                        if not isinstance(event, SubscriberError):
+                            failures.append(
+                                SubscriberError(
+                                    at=event.at,
+                                    event_type=type(event).__name__,
+                                    handler=name,
+                                    error=f"{type(error).__name__}: {error}",
+                                )
+                            )
+        # Report failures after the delivery loop; failures raised
+        # while handling a SubscriberError are logged but not
+        # re-published, so a broken error handler cannot recurse.
+        for failure in failures:
+            self.publish(failure)
 
     def clear(self) -> None:
         """Drop all subscriptions (between experiment groups)."""

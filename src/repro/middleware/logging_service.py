@@ -28,6 +28,7 @@ from .bus import (
     ContextReceived,
     InconsistencyDetected,
     SituationActivated,
+    SubscriberError,
 )
 from .manager import Middleware
 from .service import MiddlewareService
@@ -108,5 +109,15 @@ class LoggingService(MiddlewareService):
                 e.at,
                 e.situation,
                 e.context.ctx_id,
+            ),
+        )
+        bus.subscribe(
+            SubscriberError,
+            lambda e: log.error(
+                "t=%.1f subscriber %s failed handling %s: %s",
+                e.at,
+                e.handler,
+                e.event_type,
+                e.error,
             ),
         )

@@ -8,6 +8,11 @@ with real deployment traces instead of synthetic workloads.
 Format: one JSON object per line with the Context fields; values and
 attributes must be JSON-serializable (positions are stored as lists
 and restored as tuples).
+
+Both directions stream: :func:`write_trace` consumes any iterable and
+:func:`read_trace` is a lazy generator, so a million-context trace can
+be piped straight into the middleware or the sharded engine without
+ever materializing the whole list.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, Union
 
 from ..core.context import Context
 
@@ -78,12 +83,15 @@ def write_trace(contexts: Iterable[Context], path: Union[str, Path]) -> int:
     return count
 
 
-def read_trace(path: Union[str, Path]) -> List[Context]:
-    """Load a JSONL trace file back into a context list."""
-    contexts: List[Context] = []
+def read_trace(path: Union[str, Path]) -> Iterator[Context]:
+    """Lazily yield the contexts of a JSONL trace file, in file order.
+
+    The file stays open only while the generator is being consumed and
+    only one line is held in memory at a time.  Wrap in ``list()`` when
+    a materialized stream is needed (e.g. for ``len()``).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                contexts.append(load_context(line))
-    return contexts
+                yield load_context(line)

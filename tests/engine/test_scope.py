@@ -1,0 +1,91 @@
+"""Unit tests for scope analysis: union-find partition + LPT packing."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint
+from repro.engine.scope import UnionFind, partition_constraints
+
+
+def chain(name, t1, t2, bound=5.0):
+    return parse_constraint(
+        name,
+        f"forall a in {t1}, forall b in {t2} : "
+        f"same_subject(a, b) implies within_time(a, b, {bound})",
+    )
+
+
+class TestUnionFind:
+    def test_singletons_until_united(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        assert uf.find("a") != uf.find("b")
+        uf.union("a", "b")
+        assert uf.find("a") == uf.find("b")
+
+    def test_groups_deterministic(self):
+        uf = UnionFind()
+        for key in ("c", "a", "b", "d"):
+            uf.add(key)
+        uf.union("c", "a")
+        uf.union("b", "d")
+        assert uf.groups() == uf.groups()
+
+
+class TestPartition:
+    def test_disjoint_scopes_land_on_distinct_shards(self):
+        constraints = [chain("g0", "loc", "badge"), chain("g1", "rfid", "temp")]
+        partition = partition_constraints(constraints, shards=2)
+        shard_a = partition.shard_of_type("loc")
+        shard_b = partition.shard_of_type("rfid")
+        assert shard_a != shard_b
+        assert partition.shard_of_type("badge") == shard_a
+        assert partition.shard_of_type("temp") == shard_b
+
+    def test_shared_type_merges_scopes(self):
+        constraints = [
+            chain("c0", "loc", "badge"),
+            chain("c1", "badge", "rfid"),  # shares badge with c0
+            chain("c2", "temp", "hum"),
+        ]
+        partition = partition_constraints(constraints, shards=4)
+        assert len(partition.groups) == 2
+        big = next(g for g in partition.groups if len(g.constraints) == 2)
+        assert {c.name for c in big.constraints} == {"c0", "c1"}
+        assert set(big.ctx_types) == {"loc", "badge", "rfid"}
+
+    def test_unconstrained_type_is_unowned(self):
+        partition = partition_constraints([chain("c", "loc", "badge")], 2)
+        assert partition.shard_of_type("free") == -1
+
+    def test_more_groups_than_shards_packs_by_weight(self):
+        constraints = [
+            chain("a0", "t0", "t1"),
+            chain("a1", "t1", "t2"),  # group A: weight 2 constraints + 3 types
+            chain("b0", "t3", "t4"),
+            chain("c0", "t5", "t6"),
+        ]
+        partition = partition_constraints(constraints, shards=2)
+        # Heaviest group (a0+a1) goes first to shard 0; the two light
+        # groups pack onto the other shard before returning.
+        weights = [
+            len(partition.shard_constraints[s]) for s in range(2)
+        ]
+        assert sorted(weights) == [2, 2]
+        assert partition.shard_of_type("t0") == partition.shard_of_type("t2")
+
+    def test_deterministic_assignment(self):
+        constraints = [chain(f"c{i}", f"t{i}", f"u{i}") for i in range(7)]
+        first = partition_constraints(constraints, shards=3)
+        second = partition_constraints(list(reversed(constraints)), shards=3)
+        assert first.type_to_shard == second.type_to_shard
+
+    def test_duplicate_names_rejected(self):
+        constraints = [chain("dup", "a", "b"), chain("dup", "c", "d")]
+        with pytest.raises(ValueError, match="unique"):
+            partition_constraints(constraints, shards=2)
+
+    def test_empty_constraint_set(self):
+        partition = partition_constraints([], shards=3)
+        assert partition.shards == 3
+        assert partition.shard_of_type("anything") == -1

@@ -1,11 +1,14 @@
 """Unit tests for the event bus."""
 
+import logging
+
 from repro.middleware.bus import (
     ContextAdmitted,
     ContextDiscarded,
     ContextReceived,
     Event,
     EventBus,
+    SubscriberError,
 )
 
 
@@ -58,3 +61,85 @@ class TestEventBus:
         bus.subscribe(ContextReceived, handler)
         bus.publish(ContextReceived(at=0.0, context=mk()))
         assert late_calls == []
+
+
+class TestSubscriberIsolation:
+    def test_faulty_handler_does_not_block_later_handlers(self, mk):
+        bus = EventBus()
+        seen = []
+
+        def boom(event):
+            raise RuntimeError("faulty application callback")
+
+        bus.subscribe(ContextReceived, boom)
+        bus.subscribe(ContextReceived, seen.append)
+        event = ContextReceived(at=1.0, context=mk())
+        bus.publish(event)  # must not raise
+        assert seen == [event]
+        assert bus.subscriber_failures == 1
+
+    def test_failure_published_as_subscriber_error(self, mk):
+        bus = EventBus()
+        errors = []
+        bus.subscribe(SubscriberError, errors.append)
+
+        def boom(event):
+            raise ValueError("bad payload")
+
+        bus.subscribe(ContextAdmitted, boom)
+        bus.publish(ContextAdmitted(at=2.5, context=mk()))
+        assert len(errors) == 1
+        failure = errors[0]
+        assert failure.at == 2.5
+        assert failure.event_type == "ContextAdmitted"
+        assert "ValueError: bad payload" in failure.error
+        assert "boom" in failure.handler
+
+    def test_broken_error_handler_does_not_recurse(self, mk):
+        bus = EventBus()
+
+        def broken_reporter(event):
+            raise RuntimeError("the error handler is broken too")
+
+        def boom(event):
+            raise RuntimeError("original failure")
+
+        bus.subscribe(SubscriberError, broken_reporter)
+        bus.subscribe(ContextReceived, boom)
+        bus.publish(ContextReceived(at=0.0, context=mk()))  # must terminate
+        assert bus.subscriber_failures == 2
+
+    def test_failures_logged(self, mk, caplog):
+        bus = EventBus()
+        bus.subscribe(ContextReceived, lambda e: 1 / 0)
+        with caplog.at_level(logging.ERROR, logger="repro.middleware"):
+            bus.publish(ContextReceived(at=0.0, context=mk()))
+        assert any(
+            "failed handling ContextReceived" in r.message
+            for r in caplog.records
+        )
+
+    def test_pipeline_survives_faulty_subscriber(self, mk):
+        """End to end: a raising app callback can't kill resolution."""
+        from repro.constraints.checker import ConstraintChecker
+        from repro.constraints.parser import parse_constraint
+        from repro.core.drop_latest import DropLatestStrategy
+        from repro.middleware.manager import Middleware
+
+        checker = ConstraintChecker(
+            [
+                parse_constraint(
+                    "velocity",
+                    "forall l1 in location, forall l2 in location : "
+                    "(same_subject(l1, l2) and before(l1, l2)) "
+                    "implies velocity_le(l1, l2, 1.5)",
+                )
+            ]
+        )
+        middleware = Middleware(checker, DropLatestStrategy())
+        middleware.bus.subscribe(ContextAdmitted, lambda e: 1 / 0)
+        for i in range(4):
+            ctx = mk(ctx_id=f"c{i}", timestamp=float(i))
+            middleware.receive(ctx)
+        assert middleware.bus.subscriber_failures > 0
+        assert len(middleware.pool) > 0

@@ -3,7 +3,7 @@
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.context import Context
@@ -53,7 +53,7 @@ class TestFileRoundtrip:
         ]
         path = tmp_path / "trace.jsonl"
         assert write_trace(contexts, path) == 5
-        assert read_trace(path) == contexts
+        assert list(read_trace(path)) == contexts
 
     def test_blank_lines_tolerated(self, mk, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -66,7 +66,21 @@ class TestFileRoundtrip:
         contexts = RFIDAnomaliesApp().generate_workload(0.2, seed=1, items=3)
         path = tmp_path / "rfid.jsonl"
         write_trace(contexts, path)
-        assert read_trace(path) == contexts
+        assert list(read_trace(path)) == contexts
+
+    def test_read_trace_is_lazy(self, mk, tmp_path):
+        from collections.abc import Iterator
+
+        path = tmp_path / "trace.jsonl"
+        write_trace([mk(ctx_id=f"c{i}") for i in range(3)], path)
+        reader = read_trace(path)
+        assert isinstance(reader, Iterator)
+        assert next(reader).ctx_id == "c0"
+
+    def test_read_trace_opens_file_on_first_iteration(self, tmp_path):
+        reader = read_trace(tmp_path / "missing.jsonl")
+        with pytest.raises(FileNotFoundError):
+            next(reader)
 
 
 _json_values = st.one_of(
@@ -101,3 +115,59 @@ def test_dump_load_roundtrip_property(
         corrupted=corrupted,
     )
     assert load_context(dump_context(ctx)) == ctx
+
+
+_positions = st.tuples(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+_lifespans = st.one_of(
+    st.just(math.inf),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+)
+_attributes = st.lists(
+    st.tuples(st.text(min_size=1, max_size=6), _json_values),
+    max_size=3,
+).map(tuple)
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    values=st.lists(st.one_of(_json_values, _positions), min_size=1,
+                    max_size=8),
+    lifespan=_lifespans,
+    attributes=_attributes,
+)
+def test_file_roundtrip_property(values, lifespan, attributes, tmp_path):
+    """write_trace then read_trace restores every context exactly.
+
+    Exercises the two lossy-looking JSON corners: infinite lifespans
+    (serialized as the string ``"Infinity"``) and tuple positions
+    (serialized as lists, restored as tuples), plus attribute tuples.
+    """
+    contexts = [
+        Context(
+            ctx_id=f"c{i}",
+            ctx_type="location",
+            subject=f"s{i % 2}",
+            value=value,
+            timestamp=float(i),
+            lifespan=lifespan,
+            corrupted=i % 3 == 0,
+            attributes=attributes,
+        )
+        for i, value in enumerate(values)
+    ]
+    path = tmp_path / "prop.jsonl"
+    assert write_trace(contexts, path) == len(contexts)
+    restored = list(read_trace(path))
+    assert restored == contexts
+    for original, back in zip(contexts, restored):
+        assert type(back.value) is type(original.value)
+        assert back.attributes == original.attributes
+        assert math.isinf(back.lifespan) == math.isinf(original.lifespan)
