@@ -8,6 +8,12 @@ whole deployment.  This benchmark measures contexts/second at 1, 2 and
 records the numbers machine-readably into
 ``benchmarks/out/BENCH_engine.json``.
 
+The run is fully instrumented: its telemetry sidecar
+(``benchmarks/out/TELEMETRY_engine_bench.json``) carries the per-stage
+latency histograms and span counts, and the sidecar's own consistency
+is asserted -- stage histograms non-empty, deliver/discard span counts
+equal to the registry's delivered/discarded totals.
+
 Acceptance: 4 shards must be at least 2x the single-shard throughput.
 Decisions are asserted identical across all shard counts inside the
 runner -- sharding that changed any outcome would abort the benchmark.
@@ -19,13 +25,17 @@ from conftest import write_report
 
 from repro.engine import write_bench_json
 from repro.engine.workload import run_scalability_bench
+from repro.obs import Telemetry, read_sidecar, stage_histogram_nonempty, write_sidecar
 
 OUT_JSON = pathlib.Path(__file__).parent / "out" / "BENCH_engine.json"
+OUT_TELEMETRY = pathlib.Path(__file__).parent / "out" / "TELEMETRY_engine_bench.json"
 SHARD_COUNTS = (1, 2, 4)
 N_CONTEXTS = 2000
 
 
 def test_engine_scalability(benchmark):
+    telemetry = Telemetry(enabled=True)
+
     def run():
         return run_scalability_bench(
             SHARD_COUNTS,
@@ -34,6 +44,7 @@ def test_engine_scalability(benchmark):
             strategy="drop-latest",
             mode="inline",
             repeats=2,
+            telemetry=telemetry,
         )
 
     record = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -53,6 +64,39 @@ def test_engine_scalability(benchmark):
         lines.append(f"  speedup {label}: {ratio:.2f}x")
     write_report("engine_scalability", "\n".join(lines))
     write_bench_json(OUT_JSON, "engine_scalability", record)
+    write_sidecar(
+        OUT_TELEMETRY,
+        telemetry,
+        meta={
+            "benchmark": "engine_scalability",
+            "shard_counts": list(SHARD_COUNTS),
+            "n_contexts": N_CONTEXTS,
+            "strategy": "drop-latest",
+            "mode": "inline",
+        },
+    )
+
+    # The sidecar must be self-consistent and non-trivial: every hot
+    # pipeline stage observed latency, and the tracer saw exactly one
+    # deliver/discard span per delivered/discarded context the
+    # registry accounted (cumulatively, across all runs).
+    sidecar = read_sidecar(OUT_TELEMETRY)
+    for stage in ("receive", "check", "resolve", "deliver"):
+        assert stage_histogram_nonempty(sidecar, stage), (
+            f"stage {stage!r} histogram empty in {OUT_TELEMETRY}"
+        )
+    registry = telemetry.registry
+    delivered_total = sum(
+        registry.value("engine_shard_delivered_total", {"shard": str(s)})
+        for s in range(max(SHARD_COUNTS))
+    )
+    discarded_total = sum(
+        registry.value("engine_shard_discarded_total", {"shard": str(s)})
+        for s in range(max(SHARD_COUNTS))
+    )
+    span_counts = sidecar["span_counts"]
+    assert span_counts.get("stage.deliver", 0) == delivered_total
+    assert span_counts.get("stage.discard", 0) == discarded_total
 
     speedup = record["speedup"]["4_shards_vs_1"]
     assert speedup >= 2.0, (

@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro trace replay stream.jsonl --strategy drop-bad
     python -m repro engine run rfid --shards 4 --strategy drop-bad
     python -m repro engine bench --shards 1 2 4 --contexts 2000
+    python -m repro obs summary benchmarks/out/TELEMETRY_engine_bench.json
+    python -m repro obs export benchmarks/out/TELEMETRY_engine_bench.json --format prom
+    python -m repro obs spans benchmarks/out/TELEMETRY_engine_bench.json --top 5
 """
 
 from __future__ import annotations
@@ -121,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     engine_run.add_argument("--window", type=int, default=None)
     engine_run.add_argument("--delay", type=float, default=None)
     engine_run.add_argument("--batch-size", type=int, default=64)
+    engine_run.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="also write a TELEMETRY_*.json sidecar for this run",
+    )
     engine_bench = engine_sub.add_parser(
         "bench", help="measure engine throughput per shard count"
     )
@@ -142,6 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also merge the record into a BENCH_engine.json file",
     )
+    engine_bench.add_argument(
+        "--telemetry-out",
+        default="benchmarks/out/TELEMETRY_engine_bench.json",
+        metavar="PATH",
+        help="write the bench run's telemetry sidecar here",
+    )
+    engine_bench.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip telemetry instrumentation and the sidecar",
+    )
+
+    obs = commands.add_parser(
+        "obs", help="inspect or export a telemetry sidecar"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="counters, stage latencies and span counts"
+    )
+    obs_summary.add_argument("path")
+    obs_export = obs_sub.add_parser(
+        "export", help="re-export the sidecar's metrics"
+    )
+    obs_export.add_argument("path")
+    obs_export.add_argument(
+        "--format", default="prom", choices=["prom", "json"]
+    )
+    obs_spans = obs_sub.add_parser("spans", help="slowest recorded spans")
+    obs_spans.add_argument("path")
+    obs_spans.add_argument("--top", type=int, default=10)
 
     return parser
 
@@ -235,8 +274,10 @@ def _cmd_trace(args, out) -> int:
 def _cmd_engine(args, out) -> int:
     from .engine import EngineConfig, ShardedEngine, write_bench_json
     from .engine.workload import run_scalability_bench
+    from .obs import Telemetry, write_sidecar
 
     if args.engine_command == "bench":
+        telemetry = None if args.no_telemetry else Telemetry(enabled=True)
         try:
             record = run_scalability_bench(
                 tuple(args.shards),
@@ -245,6 +286,7 @@ def _cmd_engine(args, out) -> int:
                 strategy=args.strategy,
                 mode=args.mode,
                 repeats=args.repeats,
+                telemetry=telemetry,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -264,6 +306,19 @@ def _cmd_engine(args, out) -> int:
         if args.json:
             write_bench_json(args.json, "engine_scalability", record)
             print(f"record merged into {args.json}", file=out)
+        if telemetry is not None and args.telemetry_out:
+            write_sidecar(
+                args.telemetry_out,
+                telemetry,
+                meta={
+                    "command": "engine bench",
+                    "shards": list(args.shards),
+                    "contexts": args.contexts,
+                    "strategy": args.strategy,
+                    "mode": args.mode,
+                },
+            )
+            print(f"telemetry sidecar written to {args.telemetry_out}", file=out)
         return 0
 
     app_cls, defaults = _APPS[args.app]
@@ -284,11 +339,13 @@ def _cmd_engine(args, out) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    telemetry = Telemetry(enabled=True) if args.telemetry_out else None
     engine = ShardedEngine(
         checker.constraints(),
         strategy=args.strategy,
         registry_factory=app.build_registry,
         config=config,
+        telemetry=telemetry,
     )
     result = engine.run(contexts)
     metrics = result.metrics
@@ -308,6 +365,47 @@ def _cmd_engine(args, out) -> int:
             f"{stats.discarded} discarded",
             file=out,
         )
+    if telemetry is not None:
+        write_sidecar(
+            args.telemetry_out,
+            telemetry,
+            meta={
+                "command": "engine run",
+                "app": args.app,
+                "strategy": args.strategy,
+                "shards": args.shards,
+                "mode": args.mode,
+            },
+        )
+        print(f"telemetry sidecar written to {args.telemetry_out}", file=out)
+    return 0
+
+
+def _cmd_obs(args, out) -> int:
+    from .obs import (
+        json_text,
+        prometheus_text,
+        read_sidecar,
+        sidecar_slowest_spans,
+        sidecar_summary,
+    )
+
+    try:
+        document = read_sidecar(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.obs_command == "summary":
+        print(sidecar_summary(document), file=out)
+    elif args.obs_command == "export":
+        text = (
+            prometheus_text(document["metrics"])
+            if args.format == "prom"
+            else json_text(document["metrics"])
+        )
+        print(text, file=out)
+    else:
+        print(sidecar_slowest_spans(document, top=args.top), file=out)
     return 0
 
 
@@ -337,4 +435,6 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "engine":
         return _cmd_engine(args, out)
+    if args.command == "obs":
+        return _cmd_obs(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -53,8 +53,36 @@ class ConstraintChecker(InconsistencyDetector):
         self.evaluator = Evaluator(self.registry)
         #: Detection statistics, for the incremental-speed-up benchmark.
         self.detect_calls = 0
+        #: Telemetry bundle (repro.obs); hosts swap in a live one.
+        from ..obs.telemetry import NULL_TELEMETRY
+
+        self.telemetry = NULL_TELEMETRY
         for constraint in constraints:
             self.add_constraint(constraint)
+
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry) -> None:
+        # Pre-resolve the per-detect counters and the incremental-check
+        # span so the hot path pays a plain ``inc`` / re-enter instead
+        # of a registry lookup and span allocation per call.
+        self._telemetry = telemetry
+        self._check_span = telemetry.span_timer("check.incremental")
+        if telemetry.enabled:
+            self._detect_counter = telemetry.registry.counter(
+                "checker_detect_calls_total",
+                help="Incremental detect() invocations",
+            )
+            self._violations_counter = telemetry.registry.counter(
+                "checker_violations_total",
+                help="Inconsistencies the checker reported",
+            )
+        else:
+            self._detect_counter = None
+            self._violations_counter = None
 
     # -- constraint management -------------------------------------------
 
@@ -97,20 +125,25 @@ class ConstraintChecker(InconsistencyDetector):
             return by_type.get(ctx_type, ())
 
         inconsistencies: List[Inconsistency] = []
-        for name in sorted(self._constraints):
-            constraint = self._constraints[name]
-            if ctx.ctx_type not in constraint.relevant_types():
-                continue
-            for contexts in self._engine.new_violations(
-                constraint, ctx, existing, domain
-            ):
-                inconsistencies.append(
-                    Inconsistency(
-                        contexts=frozenset(contexts),
-                        constraint=constraint.name,
-                        detected_at=now,
+        with self._check_span:
+            for name in sorted(self._constraints):
+                constraint = self._constraints[name]
+                if ctx.ctx_type not in constraint.relevant_types():
+                    continue
+                for contexts in self._engine.new_violations(
+                    constraint, ctx, existing, domain
+                ):
+                    inconsistencies.append(
+                        Inconsistency(
+                            contexts=frozenset(contexts),
+                            constraint=constraint.name,
+                            detected_at=now,
+                        )
                     )
-                )
+        if self._detect_counter is not None:
+            self._detect_counter.inc()
+            if inconsistencies:
+                self._violations_counter.inc(len(inconsistencies))
         return inconsistencies
 
     def forget(self, ctx: Context) -> None:
@@ -138,14 +171,15 @@ class ConstraintChecker(InconsistencyDetector):
             return by_type.get(ctx_type, ())
 
         out: List[Inconsistency] = []
-        for name in sorted(self._constraints):
-            constraint = self._constraints[name]
-            for contexts_set in self.evaluator.violations(constraint, domain):
-                out.append(
-                    Inconsistency(
-                        contexts=frozenset(contexts_set),
-                        constraint=constraint.name,
-                        detected_at=now,
+        with self.telemetry.span("check.full", pool=len(contexts)):
+            for name in sorted(self._constraints):
+                constraint = self._constraints[name]
+                for contexts_set in self.evaluator.violations(constraint, domain):
+                    out.append(
+                        Inconsistency(
+                            contexts=frozenset(contexts_set),
+                            constraint=constraint.name,
+                            detected_at=now,
+                        )
                     )
-                )
         return out

@@ -120,6 +120,24 @@ class ResolutionService:
         self.detector = detector
         self.strategy = strategy
         self.log = ResolutionLog()
+        #: Telemetry bundle (repro.obs); hosts swap in a live one via
+        #: ``Middleware.attach_telemetry`` / ``ShardPipeline``.
+        from ..obs.telemetry import NULL_TELEMETRY
+
+        self.telemetry = NULL_TELEMETRY
+
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry) -> None:
+        # Rebind the reusable stage timers whenever the bundle is
+        # swapped -- the per-addition hot path re-enters these instead
+        # of paying a stage() call each time.
+        self._telemetry = telemetry
+        self._stage_check = telemetry.stage_timer("check")
+        self._stage_resolve = telemetry.stage_timer("resolve")
 
     def handle_addition(
         self, ctx: Context, pool_contexts: Sequence[Context], now: float
@@ -130,32 +148,52 @@ class ResolutionService:
         (excluding ``ctx``); the service filters them down to the
         strategy's checking scope before detection.
         """
+        telemetry = self._telemetry
         self.log.added.append(ctx)
         relevant = self.detector.is_relevant(ctx)
         new_inconsistencies: List[Inconsistency] = []
         if relevant:
-            scope = [
-                c
-                for c in pool_contexts
-                if not c.is_expired(now) and self.strategy.participates_in_checking(c)
-            ]
-            new_inconsistencies = self.detector.detect(ctx, scope, now)
+            with self._stage_check:
+                scope = [
+                    c
+                    for c in pool_contexts
+                    if not c.is_expired(now)
+                    and self.strategy.participates_in_checking(c)
+                ]
+                new_inconsistencies = self.detector.detect(ctx, scope, now)
             self.log.detected.extend(new_inconsistencies)
-        outcome = self.strategy.on_context_added(
-            ctx, new_inconsistencies, relevant=relevant, now=now
-        )
+        with self._stage_resolve:
+            outcome = self.strategy.on_context_added(
+                ctx, new_inconsistencies, relevant=relevant, now=now
+            )
         for victim in outcome.discarded:
             self.detector.forget(victim)
         self.log.discarded.extend(outcome.discarded)
+        if outcome.discarded:
+            telemetry.count(
+                "strategy_discards_total",
+                len(outcome.discarded),
+                labels={"strategy": self.strategy.name},
+                help="Contexts discarded, by deciding strategy",
+            )
         return outcome
 
     def handle_use(self, ctx: Context, now: float) -> UseOutcome:
         """Process a context deletion change (application uses ``ctx``)."""
-        outcome = self.strategy.on_context_used(ctx, now=now)
+        telemetry = self._telemetry
+        with self._stage_resolve:
+            outcome = self.strategy.on_context_used(ctx, now=now)
         for victim in outcome.discarded:
             self.detector.forget(victim)
         self.log.discarded.extend(outcome.discarded)
         self.log.marked_bad.extend(outcome.newly_bad)
+        if outcome.discarded:
+            telemetry.count(
+                "strategy_discards_total",
+                len(outcome.discarded),
+                labels={"strategy": self.strategy.name},
+                help="Contexts discarded, by deciding strategy",
+            )
         if outcome.delivered:
             self.log.delivered.append(ctx)
         return outcome

@@ -27,15 +27,16 @@ from __future__ import annotations
 
 import queue as queue_module
 import time
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..constraints.ast import Constraint
 from ..constraints.builtins import FunctionRegistry, standard_registry
 from ..core.context import Context
 from ..middleware.bus import ContextDelivered, ContextDiscarded, Event, EventBus
+from ..obs.telemetry import Telemetry
 from .config import EngineConfig
 from .merge import EngineResult, merge_events
-from .metrics import EngineMetrics, ShardStats
+from .metrics import EngineMetrics
 from .router import ContextRouter
 from .scope import partition_constraints
 from .shard import (
@@ -73,6 +74,13 @@ class ShardedEngine:
         process mode; defaults to the standard library registry.
     config:
         Engine tunables (shards, mode, windows, batching).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle.  When given, the
+        shards' stage timers, spans and queue metrics land in it (and,
+        in process mode, worker snapshots merge back into it).  The
+        engine always keeps *some* bundle -- metrics are a view over
+        its registry -- so omitting this only disables the hot-path
+        span/histogram hooks, not the accounting.
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class ShardedEngine:
         strategy_kwargs: Optional[dict] = None,
         registry_factory: Callable[[], FunctionRegistry] = standard_registry,
         config: Optional[EngineConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.constraints = tuple(constraints)
@@ -93,10 +102,14 @@ class ShardedEngine:
         self.router = ContextRouter(self.partition)
         #: Outward event stream (same vocabulary as ``Middleware.bus``).
         self.bus = EventBus()
+        self.telemetry = telemetry
 
     # -- construction helpers ----------------------------------------------
 
     def shard_specs(self) -> List[ShardSpec]:
+        telemetry_enabled = (
+            self.telemetry.enabled if self.telemetry is not None else False
+        )
         return [
             ShardSpec(
                 shard_id=shard_id,
@@ -106,6 +119,7 @@ class ShardedEngine:
                 registry_factory=self.registry_factory,
                 use_window=self.config.use_window,
                 use_delay=self.config.use_delay,
+                telemetry_enabled=telemetry_enabled,
             )
             for shard_id in range(self.config.shards)
         ]
@@ -119,23 +133,35 @@ class ShardedEngine:
         reader); inline and process modes consume it streamingly.
         """
         self.router.routed = {i: 0 for i in range(self.config.shards)}
+        # Every run accounts into *some* registry; a caller-supplied
+        # bundle keeps Prometheus counter semantics (cumulative across
+        # runs), an implicit one is fresh per engine.
+        telemetry = (
+            self.telemetry if self.telemetry is not None else Telemetry.disabled()
+        )
         started = time.perf_counter()
         if self.config.mode == "inline":
-            result = self._run_inline(contexts)
+            result = self._run_inline(contexts, telemetry)
         elif self.config.mode == "local":
-            result = self._run_substreams(contexts, executed_mode="local")
+            result = self._run_substreams(
+                contexts, executed_mode="local", telemetry=telemetry
+            )
         else:
-            result = self._run_process(contexts)
+            result = self._run_process(contexts, telemetry)
         result.metrics.elapsed_s = time.perf_counter() - started
         return result
 
     # -- inline (deterministic) mode -----------------------------------------
 
-    def _run_inline(self, contexts: Iterable[Context]) -> EngineResult:
+    def _run_inline(
+        self, contexts: Iterable[Context], telemetry: Telemetry
+    ) -> EngineResult:
         specs = self.shard_specs()
         pipelines: List[ShardPipeline] = []
         for spec in specs:
-            pipeline = spec.build()
+            # Inline shards share the engine's bundle: one registry,
+            # one span ring, global ordering preserved.
+            pipeline = spec.build(telemetry=telemetry)
             pipeline.bus = self.bus
             pipelines.append(pipeline)
         events: List[Event] = []
@@ -147,39 +173,20 @@ class ShardedEngine:
             use_delay=self.config.use_delay,
         )
         driver.receive_all(contexts)
-        return self._collect_inline(pipelines, events)
+        return self._collect_inline(pipelines, events, telemetry)
 
     def _collect_inline(
-        self, pipelines: Sequence[ShardPipeline], events: List[Event]
+        self,
+        pipelines: Sequence[ShardPipeline],
+        events: List[Event],
+        telemetry: Telemetry,
     ) -> EngineResult:
         delivered = [e.context for e in events if isinstance(e, ContextDelivered)]
         discarded = [e.context for e in events if isinstance(e, ContextDiscarded)]
-        per_shard = []
-        inconsistencies = 0
         for pipeline in pipelines:
-            log = pipeline.resolution.log
-            inconsistencies += len(log.detected)
-            per_shard.append(
-                ShardStats(
-                    shard_id=pipeline.shard_id,
-                    constraints=len(
-                        self.partition.shard_constraints[pipeline.shard_id]
-                    ),
-                    contexts=pipeline.arrivals,
-                    delivered=len(log.delivered),
-                    discarded=len(log.discarded),
-                    inconsistencies=len(log.detected),
-                    detect_calls=pipeline.detect_calls(),
-                )
-            )
-        metrics = EngineMetrics(
-            mode="inline",
-            shards=self.config.shards,
-            contexts_total=sum(s.contexts for s in per_shard),
-            delivered_total=len(delivered),
-            discarded_total=len(discarded),
-            inconsistencies_total=inconsistencies,
-            per_shard=per_shard,
+            pipeline.flush_stats()
+        metrics = EngineMetrics.from_registry(
+            telemetry.registry, mode="inline", shards=self.config.shards
         )
         return EngineResult(
             delivered=delivered,
@@ -197,7 +204,10 @@ class ShardedEngine:
         return substreams
 
     def _run_substreams(
-        self, contexts: Iterable[Context], executed_mode: str
+        self,
+        contexts: Iterable[Context],
+        executed_mode: str,
+        telemetry: Telemetry,
     ) -> EngineResult:
         specs = self.shard_specs()
         substreams = self._split(contexts)
@@ -205,17 +215,23 @@ class ShardedEngine:
             run_shard_substream(spec, substream)
             for spec, substream in zip(specs, substreams)
         ]
-        return self._collect_shard_results(results, executed_mode)
+        return self._collect_shard_results(results, executed_mode, telemetry)
 
-    def _run_process(self, contexts: Iterable[Context]) -> EngineResult:
+    def _run_process(
+        self, contexts: Iterable[Context], telemetry: Telemetry
+    ) -> EngineResult:
         try:
             results = self._run_process_pool(contexts)
         except Exception:
             # Process pools can be unavailable (restricted sandboxes,
             # unpicklable registries); the decomposition is the same
             # either way, only the executor changes.
-            return self._run_substreams(contexts, executed_mode="process-fallback")
-        return self._collect_shard_results(results, executed_mode="process")
+            return self._run_substreams(
+                contexts, executed_mode="process-fallback", telemetry=telemetry
+            )
+        return self._collect_shard_results(
+            results, executed_mode="process", telemetry=telemetry
+        )
 
     def _run_process_pool(
         self, contexts: Iterable[Context]
@@ -265,31 +281,23 @@ class ShardedEngine:
                     )
 
     def _collect_shard_results(
-        self, results: Sequence[ShardRunResult], executed_mode: str
+        self,
+        results: Sequence[ShardRunResult],
+        executed_mode: str,
+        telemetry: Telemetry,
     ) -> EngineResult:
         events = merge_events([r.events for r in results])
         delivered = [e.context for e in events if isinstance(e, ContextDelivered)]
         discarded = [e.context for e in events if isinstance(e, ContextDiscarded)]
-        per_shard = [
-            ShardStats(
-                shard_id=r.shard_id,
-                constraints=len(self.partition.shard_constraints[r.shard_id]),
-                contexts=int(r.stats.get("contexts", 0)),
-                delivered=len(r.delivered),
-                discarded=len(r.discarded),
-                inconsistencies=int(r.stats.get("inconsistencies", 0)),
-                detect_calls=int(r.stats.get("detect_calls", 0)),
-            )
-            for r in results
-        ]
-        metrics = EngineMetrics(
-            mode=executed_mode,
-            shards=self.config.shards,
-            contexts_total=sum(s.contexts for s in per_shard),
-            delivered_total=len(delivered),
-            discarded_total=len(discarded),
-            inconsistencies_total=sum(s.inconsistencies for s in per_shard),
-            per_shard=per_shard,
+        # Workers accounted into their own registries; their snapshots
+        # travelled back in the results.  Merge them here, then read
+        # the totals from the one merged registry -- a worker that died
+        # before flushing simply contributes nothing.
+        for r in results:
+            if r.telemetry is not None:
+                telemetry.merge_snapshot(r.telemetry)
+        metrics = EngineMetrics.from_registry(
+            telemetry.registry, mode=executed_mode, shards=self.config.shards
         )
         for event in events:
             self.bus.publish(event)

@@ -84,6 +84,7 @@ class ShardPipeline:
         detector,
         strategy: ResolutionStrategy,
         bus: Optional[EventBus] = None,
+        telemetry=None,
     ) -> None:
         self.shard_id = shard_id
         self.pool = ContextPool()
@@ -94,6 +95,27 @@ class ShardPipeline:
         #: Contexts this shard has processed (arrivals routed here).
         self.arrivals = 0
         self.uses = 0
+        # Each pipeline needs a registry of its own (or its engine's):
+        # EngineMetrics is a view over it -- flush_stats() lands here.
+        if telemetry is None:
+            from ..obs.telemetry import Telemetry
+
+            telemetry = Telemetry.disabled()
+        self.telemetry = telemetry
+        self.resolution.telemetry = telemetry
+        if hasattr(detector, "telemetry"):
+            detector.telemetry = telemetry
+        # Reusable stage instruments, allocated once and re-entered per
+        # context.  Deliver/discard carry spans (their span counts must
+        # equal the delivered/discarded totals); the receive/use
+        # wrappers record histogram-only -- their interesting sub-work
+        # (check/resolve/deliver) is already spanned inside, and the
+        # throughput engine pays for every span it opens (see the
+        # telemetry overhead benchmark).
+        self._stage_receive = telemetry.stage_observer("receive")
+        self._stage_use = telemetry.stage_observer("use")
+        self._stage_deliver = telemetry.stage_timer("deliver")
+        self._stage_discard = telemetry.stage_timer("discard")
 
     @property
     def strategy(self) -> ResolutionStrategy:
@@ -109,30 +131,34 @@ class ShardPipeline:
         unschedules the victims.
         """
         self.arrivals += 1
-        existing = [c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id]
-        detected_before = len(self.resolution.log.detected)
-        outcome = self.resolution.handle_addition(ctx, existing, now)
-        self.bus.publish(ContextReceived(at=now, context=ctx))
-        for inconsistency in self.resolution.log.detected[detected_before:]:
-            self.bus.publish(
-                InconsistencyDetected(at=now, inconsistency=inconsistency)
-            )
-
-        discarded_ids = {c.ctx_id for c in outcome.discarded}
-        if ctx.ctx_id not in discarded_ids:
-            self.pool.add(ctx)
-            if ctx.expiry != float("inf"):
-                self._heap_seq += 1
-                heapq.heappush(
-                    self._expiry_heap, (ctx.expiry, self._heap_seq, ctx)
+        with self._stage_receive:
+            existing = [
+                c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id
+            ]
+            detected_before = len(self.resolution.log.detected)
+            outcome = self.resolution.handle_addition(ctx, existing, now)
+            self.bus.publish(ContextReceived(at=now, context=ctx))
+            for inconsistency in self.resolution.log.detected[detected_before:]:
+                self.bus.publish(
+                    InconsistencyDetected(at=now, inconsistency=inconsistency)
                 )
-        for victim in outcome.discarded:
-            self.pool.remove(victim)
-            self.bus.publish(ContextDiscarded(at=now, context=victim))
-        for admitted in outcome.admitted:
-            self.bus.publish(ContextAdmitted(at=now, context=admitted))
-        if outcome.buffered:
-            self.bus.publish(ContextBuffered(at=now, context=ctx))
+
+            discarded_ids = {c.ctx_id for c in outcome.discarded}
+            if ctx.ctx_id not in discarded_ids:
+                self.pool.add(ctx)
+                if ctx.expiry != float("inf"):
+                    self._heap_seq += 1
+                    heapq.heappush(
+                        self._expiry_heap, (ctx.expiry, self._heap_seq, ctx)
+                    )
+            for victim in outcome.discarded:
+                with self._stage_discard:
+                    self.pool.remove(victim)
+                    self.bus.publish(ContextDiscarded(at=now, context=victim))
+            for admitted in outcome.admitted:
+                self.bus.publish(ContextAdmitted(at=now, context=admitted))
+            if outcome.buffered:
+                self.bus.publish(ContextBuffered(at=now, context=ctx))
         return outcome
 
     # -- the context deletion (use) change ---------------------------------
@@ -140,14 +166,17 @@ class ShardPipeline:
     def use(self, ctx: Context, now: float) -> UseOutcome:
         """An application uses ``ctx``; mirrors ``Middleware.use``."""
         self.uses += 1
-        outcome = self.resolution.handle_use(ctx, now)
-        for bad in outcome.newly_bad:
-            self.bus.publish(ContextMarkedBad(at=now, context=bad))
-        for victim in outcome.discarded:
-            self.pool.remove(victim)
-            self.bus.publish(ContextDiscarded(at=now, context=victim))
-        if outcome.delivered:
-            self.bus.publish(ContextDelivered(at=now, context=ctx))
+        with self._stage_use:
+            outcome = self.resolution.handle_use(ctx, now)
+            for bad in outcome.newly_bad:
+                self.bus.publish(ContextMarkedBad(at=now, context=bad))
+            for victim in outcome.discarded:
+                with self._stage_discard:
+                    self.pool.remove(victim)
+                    self.bus.publish(ContextDiscarded(at=now, context=victim))
+            if outcome.delivered:
+                with self._stage_deliver:
+                    self.bus.publish(ContextDelivered(at=now, context=ctx))
         return outcome
 
     # -- expiry -------------------------------------------------------------
@@ -176,6 +205,53 @@ class ShardPipeline:
     def detect_calls(self) -> int:
         detector = self.resolution.detector
         return getattr(detector, "detect_calls", 0)
+
+    def flush_stats(self) -> None:
+        """Write this shard's run accounting into the telemetry registry.
+
+        Called once after the shard's stream is drained.  These
+        ``engine_shard_*`` series are what
+        :meth:`~repro.engine.metrics.EngineMetrics.from_registry`
+        reads back -- the registry is the single accounting path, in
+        every execution mode.  Recorded even when the bundle is
+        disabled (plain counters; the hot-path span/histogram hooks
+        stay off).
+        """
+        registry = self.telemetry.registry
+        labels = {"shard": str(self.shard_id)}
+        log = self.resolution.log
+        registry.counter(
+            "engine_shard_contexts_total",
+            help="Contexts routed to the shard",
+            labels=labels,
+        ).inc(self.arrivals)
+        registry.counter(
+            "engine_shard_delivered_total",
+            help="Contexts the shard delivered",
+            labels=labels,
+        ).inc(len(log.delivered))
+        registry.counter(
+            "engine_shard_discarded_total",
+            help="Contexts the shard discarded",
+            labels=labels,
+        ).inc(len(log.discarded))
+        registry.counter(
+            "engine_shard_inconsistencies_total",
+            help="Inconsistencies the shard detected",
+            labels=labels,
+        ).inc(len(log.detected))
+        registry.counter(
+            "engine_shard_detect_calls_total",
+            help="Incremental checker invocations on the shard",
+            labels=labels,
+        ).inc(self.detect_calls())
+        constraints = getattr(self.resolution.detector, "constraints", None)
+        if callable(constraints):
+            registry.gauge(
+                "engine_shard_constraints",
+                help="Constraints assigned to the shard",
+                labels=labels,
+            ).set(len(constraints()))
 
 
 class StreamDriver:
@@ -290,13 +366,24 @@ class ShardSpec:
     registry_factory: Callable[[], FunctionRegistry] = standard_registry
     use_window: int = 4
     use_delay: Optional[float] = None
+    #: Whether a worker rebuilds its pipeline with live telemetry
+    #: (spans + histograms); the snapshot ships back in the result.
+    telemetry_enabled: bool = False
 
-    def build(self) -> ShardPipeline:
+    def build(self, telemetry=None) -> ShardPipeline:
+        """Rebuild the pipeline; ``telemetry`` overrides the spec flag
+        (inline mode shares the engine's bundle across shards)."""
         checker = ConstraintChecker(
             self.constraints, registry=self.registry_factory()
         )
         strategy = make_strategy(self.strategy, **dict(self.strategy_kwargs))
-        return ShardPipeline(self.shard_id, checker, strategy)
+        if telemetry is None:
+            from ..obs.telemetry import Telemetry
+
+            telemetry = Telemetry(enabled=self.telemetry_enabled)
+        return ShardPipeline(
+            self.shard_id, checker, strategy, telemetry=telemetry
+        )
 
 
 @dataclass
@@ -308,14 +395,24 @@ class ShardRunResult:
     delivered: List[Context] = field(default_factory=list)
     discarded: List[Context] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Serialized :meth:`repro.obs.Telemetry.snapshot` of the worker's
+    #: bundle; merged into the parent registry after the run.
+    telemetry: Optional[Dict[str, object]] = None
 
 
 def _drive_substream(
-    spec: ShardSpec, batches: Iterable[Sequence[Context]]
+    spec: ShardSpec,
+    batches_for: Callable[[ShardPipeline], Iterable[Sequence[Context]]],
 ) -> ShardRunResult:
-    """Run one shard over its sub-stream with shard-local windows."""
+    """Run one shard over its sub-stream with shard-local windows.
+
+    ``batches_for`` receives the freshly built pipeline (so a queue
+    reader can time its waits against the pipeline's telemetry) and
+    returns the batch iterable to drain.
+    """
     started = time.perf_counter()
     pipeline = spec.build()
+    telemetry = pipeline.telemetry
     events: List[Event] = []
     pipeline.bus.subscribe(Event, events.append)
     driver = StreamDriver(
@@ -325,12 +422,33 @@ def _drive_substream(
         use_delay=spec.use_delay,
     )
     total = 0
-    for batch in batches:
+    batch_histogram = (
+        telemetry.registry.histogram(
+            "engine_batch_seconds",
+            help="Per-batch resolution latency on the shard",
+            labels={"shard": str(spec.shard_id)},
+        )
+        if telemetry.enabled
+        else None
+    )
+    for batch in batches_for(pipeline):
         total += len(batch)
-        for ctx in batch:
-            driver.receive(ctx)
+        with telemetry.span(
+            "engine.batch", shard=spec.shard_id, size=len(batch)
+        ):
+            batch_started = time.perf_counter()
+            for ctx in batch:
+                driver.receive(ctx)
+            if batch_histogram is not None:
+                batch_histogram.observe(time.perf_counter() - batch_started)
     driver.flush_uses()
     elapsed = time.perf_counter() - started
+    pipeline.flush_stats()
+    telemetry.registry.gauge(
+        "engine_shard_elapsed_seconds",
+        help="Wall-clock seconds the shard spent on its sub-stream",
+        labels={"shard": str(spec.shard_id)},
+    ).set(elapsed)
     log = pipeline.resolution.log
     return ShardRunResult(
         shard_id=spec.shard_id,
@@ -343,6 +461,7 @@ def _drive_substream(
             "inconsistencies": float(len(log.detected)),
             "elapsed_s": elapsed,
         },
+        telemetry=telemetry.snapshot(),
     )
 
 
@@ -350,7 +469,7 @@ def run_shard_substream(
     spec: ShardSpec, contexts: Sequence[Context]
 ) -> ShardRunResult:
     """Process-pool entry point: one shard, its whole sub-stream."""
-    return _drive_substream(spec, [contexts])
+    return _drive_substream(spec, lambda _pipeline: [contexts])
 
 
 def run_shard_from_queue(spec: ShardSpec, queue) -> ShardRunResult:
@@ -359,14 +478,30 @@ def run_shard_from_queue(spec: ShardSpec, queue) -> ShardRunResult:
     ``queue`` is a (manager-proxied) bounded queue of context batches;
     ``None`` is the end-of-stream sentinel.  The bounded queue is what
     gives the engine backpressure: the router blocks once a shard falls
-    ``max_queue_batches`` batches behind.
+    ``max_queue_batches`` batches behind.  Time spent blocked in
+    ``queue.get`` is recorded per shard (``engine_queue_wait_seconds``)
+    -- the router-starvation signal the batch latency alone cannot
+    show.
     """
 
-    def batches():
+    def batches(pipeline: ShardPipeline):
+        telemetry = pipeline.telemetry
+        wait_histogram = (
+            telemetry.registry.histogram(
+                "engine_queue_wait_seconds",
+                help="Time the shard worker spent waiting on its queue",
+                labels={"shard": str(spec.shard_id)},
+            )
+            if telemetry.enabled
+            else None
+        )
         while True:
+            waited = time.perf_counter()
             batch = queue.get()
+            if wait_histogram is not None:
+                wait_histogram.observe(time.perf_counter() - waited)
             if batch is None:
                 return
             yield batch
 
-    return _drive_substream(spec, batches())
+    return _drive_substream(spec, batches)

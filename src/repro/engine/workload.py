@@ -101,13 +101,18 @@ def run_scalability_bench(
     repeats: int = 2,
     seed: int = 0,
     workload: Optional[Tuple[List[Constraint], List[Context]]] = None,
+    telemetry=None,
 ) -> Dict[str, object]:
     """Measure engine throughput at each shard count on one workload.
 
     Returns a JSON-ready record: per-shard-count contexts/second (best
     of ``repeats``), the decision totals (identical across counts --
     asserted), and the headline speedup of the largest count over the
-    smallest.
+    smallest.  ``contexts_per_second`` is stored raw (floats are for
+    comparing across commits); ``elapsed_s`` is rounded only because it
+    is redundant with it.  An optional ``telemetry`` bundle
+    (:class:`repro.obs.Telemetry`) is threaded into every engine run so
+    the benchmark can emit a sidecar alongside the numbers.
     """
     constraints, contexts = workload or scalability_workload(
         n_contexts, seed=seed
@@ -123,7 +128,10 @@ def run_scalability_bench(
         engine = None
         for _ in range(max(1, repeats)):
             engine = ShardedEngine(
-                constraints, strategy=strategy, config=config
+                constraints,
+                strategy=strategy,
+                config=config,
+                telemetry=telemetry,
             )
             last = engine.run(contexts)
             if best is None or last.metrics.elapsed_s < best:
@@ -140,7 +148,7 @@ def run_scalability_bench(
                 f"decisions diverged at {shards} shards -- sharding bug"
             )
         results[str(shards)] = {
-            "contexts_per_second": round(len(contexts) / best, 1),
+            "contexts_per_second": len(contexts) / best,
             "elapsed_s": round(best, 4),
             "delivered": len(last.delivered),
             "discarded": len(last.discarded),

@@ -77,10 +77,16 @@ def run_group(
     err_rate: float,
     seed: int,
     use_window: int = 4,
+    telemetry=None,
 ) -> GroupMetrics:
-    """Play one pre-generated stream under one strategy instance."""
+    """Play one pre-generated stream under one strategy instance.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the
+    middleware pipeline for this group; pass one bundle across groups
+    to aggregate a whole scenario into one sidecar.
+    """
     middleware = Middleware(
-        app.build_checker(), strategy, use_window=use_window
+        app.build_checker(), strategy, use_window=use_window, telemetry=telemetry
     )
     engine = SituationEngine(app.build_situations())
     middleware.plug_in(engine)
@@ -204,6 +210,7 @@ def run_comparison(
     strategy_factory: Optional[
         Callable[[str, int], ResolutionStrategy]
     ] = None,
+    telemetry=None,
 ) -> ComparisonResult:
     """Run the full strategies x error-rates x groups grid.
 
@@ -211,6 +218,8 @@ def run_comparison(
     (error rate, group) cell, so normalization against OPT-R compares
     like with like.  ``strategy_factory`` can be overridden for
     ablations (e.g. drop-bad with a different tie-break policy).
+    A shared ``telemetry`` bundle aggregates every group's pipeline
+    latencies into one registry.
     """
     config = config or ComparisonConfig()
     factory = strategy_factory or default_strategy_factory
@@ -230,6 +239,7 @@ def run_comparison(
                         err_rate=err_rate,
                         seed=seed,
                         use_window=config.use_window,
+                        telemetry=telemetry,
                     )
                 )
     return result

@@ -145,6 +145,26 @@ class EventBus:
         """Register ``handler`` for events of ``event_type`` (and subtypes)."""
         self._handlers.setdefault(event_type, []).append(handler)  # type: ignore[arg-type]
 
+    def unsubscribe(
+        self, event_type: Type[E], handler: Callable[[E], None]
+    ) -> bool:
+        """Remove one prior subscription; returns whether it was found.
+
+        Only the exact ``(event_type, handler)`` pair registered via
+        :meth:`subscribe` matches -- services that subscribe lambdas
+        must retain them to unsubscribe (see ``LoggingService``).
+        """
+        handlers = self._handlers.get(event_type)
+        if not handlers:
+            return False
+        try:
+            handlers.remove(handler)  # type: ignore[arg-type]
+        except ValueError:
+            return False
+        if not handlers:
+            del self._handlers[event_type]
+        return True
+
     def publish(self, event: Event) -> None:
         """Deliver ``event`` synchronously to all matching handlers."""
         self.published += 1

@@ -11,12 +11,17 @@ without writing a bespoke bus subscriber:
 Inconsistency detections and discards log at INFO (they are the
 interesting events); the high-volume arrival/delivery chatter logs at
 DEBUG.
+
+The service retains every handler it subscribes, so
+:meth:`on_detach` (via ``Middleware.unplug``) removes them all -- a
+service instance can be moved between managers without leaving stale
+subscriptions behind that would double every log line.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import Optional
+from typing import Callable, List, Optional, Tuple, Type
 
 from .bus import (
     ContextAdmitted,
@@ -26,6 +31,7 @@ from .bus import (
     ContextExpired,
     ContextMarkedBad,
     ContextReceived,
+    Event,
     InconsistencyDetected,
     SituationActivated,
     SubscriberError,
@@ -43,81 +49,98 @@ class LoggingService(MiddlewareService):
 
     def __init__(self, logger: Optional[logging.Logger] = None) -> None:
         self.logger = logger or logging.getLogger("repro.middleware")
+        self._subscribed: List[Tuple[Type[Event], Callable[[Event], None]]] = []
+        self._bus = None
 
     def on_attach(self, middleware: Middleware) -> None:
         bus = middleware.bus
+        self._bus = bus
         log = self.logger
 
-        bus.subscribe(
-            ContextReceived,
-            lambda e: log.debug(
-                "t=%.1f received %s", e.at, e.context.ctx_id
+        handlers: List[Tuple[Type[Event], Callable]] = [
+            (
+                ContextReceived,
+                lambda e: log.debug(
+                    "t=%.1f received %s", e.at, e.context.ctx_id
+                ),
             ),
-        )
-        bus.subscribe(
-            ContextAdmitted,
-            lambda e: log.debug(
-                "t=%.1f admitted %s", e.at, e.context.ctx_id
+            (
+                ContextAdmitted,
+                lambda e: log.debug(
+                    "t=%.1f admitted %s", e.at, e.context.ctx_id
+                ),
             ),
-        )
-        bus.subscribe(
-            ContextBuffered,
-            lambda e: log.debug(
-                "t=%.1f buffered %s", e.at, e.context.ctx_id
+            (
+                ContextBuffered,
+                lambda e: log.debug(
+                    "t=%.1f buffered %s", e.at, e.context.ctx_id
+                ),
             ),
-        )
-        bus.subscribe(
-            ContextDelivered,
-            lambda e: log.debug(
-                "t=%.1f delivered %s", e.at, e.context.ctx_id
+            (
+                ContextDelivered,
+                lambda e: log.debug(
+                    "t=%.1f delivered %s", e.at, e.context.ctx_id
+                ),
             ),
-        )
-        bus.subscribe(
-            ContextExpired,
-            lambda e: log.debug(
-                "t=%.1f expired %s", e.at, e.context.ctx_id
+            (
+                ContextExpired,
+                lambda e: log.debug(
+                    "t=%.1f expired %s", e.at, e.context.ctx_id
+                ),
             ),
-        )
-        bus.subscribe(
-            InconsistencyDetected,
-            lambda e: log.info(
-                "t=%.1f inconsistency %s {%s}",
-                e.at,
-                e.inconsistency.constraint,
-                ",".join(sorted(c.ctx_id for c in e.inconsistency.contexts)),
+            (
+                InconsistencyDetected,
+                lambda e: log.info(
+                    "t=%.1f inconsistency %s {%s}",
+                    e.at,
+                    e.inconsistency.constraint,
+                    ",".join(sorted(c.ctx_id for c in e.inconsistency.contexts)),
+                ),
             ),
-        )
-        bus.subscribe(
-            ContextMarkedBad,
-            lambda e: log.info(
-                "t=%.1f marked bad %s", e.at, e.context.ctx_id
+            (
+                ContextMarkedBad,
+                lambda e: log.info(
+                    "t=%.1f marked bad %s", e.at, e.context.ctx_id
+                ),
             ),
-        )
-        bus.subscribe(
-            ContextDiscarded,
-            lambda e: log.info(
-                "t=%.1f discarded %s%s",
-                e.at,
-                e.context.ctx_id,
-                " (corrupted)" if e.context.corrupted else "",
+            (
+                ContextDiscarded,
+                lambda e: log.info(
+                    "t=%.1f discarded %s%s",
+                    e.at,
+                    e.context.ctx_id,
+                    " (corrupted)" if e.context.corrupted else "",
+                ),
             ),
-        )
-        bus.subscribe(
-            SituationActivated,
-            lambda e: log.info(
-                "t=%.1f situation %s activated by %s",
-                e.at,
-                e.situation,
-                e.context.ctx_id,
+            (
+                SituationActivated,
+                lambda e: log.info(
+                    "t=%.1f situation %s activated by %s",
+                    e.at,
+                    e.situation,
+                    e.context.ctx_id,
+                ),
             ),
-        )
-        bus.subscribe(
-            SubscriberError,
-            lambda e: log.error(
-                "t=%.1f subscriber %s failed handling %s: %s",
-                e.at,
-                e.handler,
-                e.event_type,
-                e.error,
+            (
+                SubscriberError,
+                lambda e: log.error(
+                    "t=%.1f subscriber %s failed handling %s: %s",
+                    e.at,
+                    e.handler,
+                    e.event_type,
+                    e.error,
+                ),
             ),
-        )
+        ]
+        for event_type, handler in handlers:
+            bus.subscribe(event_type, handler)
+            self._subscribed.append((event_type, handler))
+
+    def on_detach(self, middleware: Middleware) -> None:
+        """Unsubscribe every retained handler registered on attach."""
+        if self._bus is None:
+            return
+        for event_type, handler in self._subscribed:
+            self._bus.unsubscribe(event_type, handler)
+        self._subscribed.clear()
+        self._bus = None

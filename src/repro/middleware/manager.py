@@ -67,6 +67,11 @@ class Middleware:
         simulation clock passes ``arrival + use_delay`` seconds.
     clock, bus:
         Optionally injected for sharing across components.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle; when given, the
+        pipeline stages (receive/check/resolve/use/deliver/discard)
+        record spans and latency histograms into it.  Attaching a
+        :class:`repro.obs.TelemetryService` sets this up too.
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class Middleware:
         use_delay: Optional[float] = None,
         clock: Optional[SimulationClock] = None,
         bus: Optional[EventBus] = None,
+        telemetry=None,
     ) -> None:
         if use_window < 0:
             raise ValueError(f"use_window must be >= 0, got {use_window}")
@@ -94,6 +100,9 @@ class Middleware:
         self._pending_use: Deque[Tuple[Context, int, float]] = deque()
         self._arrivals = 0
         self._used_ids: set = set()
+        self.attach_telemetry(
+            telemetry if telemetry is not None else self.resolution.telemetry
+        )  # NULL bundle until a live one is attached
 
     # -- plug-ins -------------------------------------------------------------
 
@@ -105,6 +114,34 @@ class Middleware:
         """Attach a plug-in service (situation engine, metrics, ...)."""
         self.services.add(service)
         service.on_attach(self)
+
+    def unplug(self, name: str) -> MiddlewareService:
+        """Detach a plug-in service by name; returns it.
+
+        The service's :meth:`~MiddlewareService.on_detach` runs so it
+        can unsubscribe its bus handlers; afterwards it may be plugged
+        into another manager.
+        """
+        service = self.services.remove(name)
+        service.on_detach(self)
+        return service
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Adopt a telemetry bundle across the whole pipeline.
+
+        Wires the bundle into the resolution service (check/resolve
+        stage timers) and the detector (incremental-check spans), so
+        hot-path latencies land in one registry.
+        """
+        self.telemetry = telemetry
+        self.resolution.telemetry = telemetry
+        if hasattr(self.resolution.detector, "telemetry"):
+            self.resolution.detector.telemetry = telemetry
+        # Reusable stage timers: re-entered per context, allocated once.
+        self._stage_receive = telemetry.stage_timer("receive")
+        self._stage_use = telemetry.stage_timer("use")
+        self._stage_deliver = telemetry.stage_timer("deliver")
+        self._stage_discard = telemetry.stage_timer("discard")
 
     # -- the context addition change ------------------------------------------
 
@@ -119,28 +156,32 @@ class Middleware:
             # checking scope by the time it arrives.
             self._drain_due_uses(now)
 
-        existing = [c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id]
-        detected_before = len(self.resolution.log.detected)
-        outcome = self.resolution.handle_addition(ctx, existing, now)
-        self.bus.publish(ContextReceived(at=now, context=ctx))
-        for inconsistency in self.resolution.log.detected[detected_before:]:
-            self.bus.publish(
-                InconsistencyDetected(at=now, inconsistency=inconsistency)
-            )
+        with self._stage_receive:
+            existing = [
+                c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id
+            ]
+            detected_before = len(self.resolution.log.detected)
+            outcome = self.resolution.handle_addition(ctx, existing, now)
+            self.bus.publish(ContextReceived(at=now, context=ctx))
+            for inconsistency in self.resolution.log.detected[detected_before:]:
+                self.bus.publish(
+                    InconsistencyDetected(at=now, inconsistency=inconsistency)
+                )
 
-        discarded_ids = {c.ctx_id for c in outcome.discarded}
-        if ctx.ctx_id not in discarded_ids:
-            self.pool.add(ctx)
-            self._arrivals += 1
-            self._pending_use.append((ctx, self._arrivals, now))
-        for victim in outcome.discarded:
-            self.pool.remove(victim)
-            self._unschedule(victim)
-            self.bus.publish(ContextDiscarded(at=now, context=victim))
-        for admitted in outcome.admitted:
-            self.bus.publish(ContextAdmitted(at=now, context=admitted))
-        if outcome.buffered:
-            self.bus.publish(ContextBuffered(at=now, context=ctx))
+            discarded_ids = {c.ctx_id for c in outcome.discarded}
+            if ctx.ctx_id not in discarded_ids:
+                self.pool.add(ctx)
+                self._arrivals += 1
+                self._pending_use.append((ctx, self._arrivals, now))
+            for victim in outcome.discarded:
+                with self._stage_discard:
+                    self.pool.remove(victim)
+                    self._unschedule(victim)
+                    self.bus.publish(ContextDiscarded(at=now, context=victim))
+            for admitted in outcome.admitted:
+                self.bus.publish(ContextAdmitted(at=now, context=admitted))
+            if outcome.buffered:
+                self.bus.publish(ContextBuffered(at=now, context=ctx))
 
         self._drain_due_uses(now)
 
@@ -156,16 +197,19 @@ class Middleware:
         """An application uses ``ctx`` now; returns whether delivered."""
         now = self.clock.now()
         self._used_ids.add(ctx.ctx_id)
-        outcome = self.resolution.handle_use(ctx, now)
-        for bad in outcome.newly_bad:
-            self.bus.publish(ContextMarkedBad(at=now, context=bad))
-        for victim in outcome.discarded:
-            self.pool.remove(victim)
-            self._unschedule(victim)
-            self.bus.publish(ContextDiscarded(at=now, context=victim))
-        if outcome.delivered:
-            self.bus.publish(ContextDelivered(at=now, context=ctx))
-            self.subscriptions.dispatch(ctx)
+        with self._stage_use:
+            outcome = self.resolution.handle_use(ctx, now)
+            for bad in outcome.newly_bad:
+                self.bus.publish(ContextMarkedBad(at=now, context=bad))
+            for victim in outcome.discarded:
+                with self._stage_discard:
+                    self.pool.remove(victim)
+                    self._unschedule(victim)
+                    self.bus.publish(ContextDiscarded(at=now, context=victim))
+            if outcome.delivered:
+                with self._stage_deliver:
+                    self.bus.publish(ContextDelivered(at=now, context=ctx))
+                    self.subscriptions.dispatch(ctx)
         return outcome.delivered
 
     def flush_uses(self) -> None:

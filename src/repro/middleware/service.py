@@ -32,6 +32,15 @@ class MiddlewareService(ABC):
     def on_attach(self, middleware: "Middleware") -> None:
         """Called once when the service is plugged into a manager."""
 
+    def on_detach(self, middleware: "Middleware") -> None:
+        """Called when the service is unplugged from a manager.
+
+        Services that subscribed bus handlers in :meth:`on_attach`
+        must unsubscribe them here, so a detached service leaves no
+        dangling callbacks and can be re-attached to a fresh manager
+        without double-handling events.
+        """
+
     def on_start(self) -> None:
         """Called when a run begins (after all services attached)."""
 
@@ -54,6 +63,12 @@ class ServiceRegistry:
 
     def get(self, name: str) -> MiddlewareService:
         return self._services[name]
+
+    def remove(self, name: str) -> MiddlewareService:
+        """Unregister and return a service; ``KeyError`` if unknown."""
+        service = self._services.pop(name)
+        self._order.remove(name)
+        return service
 
     def maybe_get(self, name: str) -> Optional[MiddlewareService]:
         return self._services.get(name)

@@ -1,0 +1,115 @@
+"""Exporters: Prometheus text format and JSON, over registry snapshots.
+
+Both exporters consume the plain-dict snapshot form
+(:meth:`~repro.obs.registry.MetricsRegistry.snapshot`), not live
+registries, so the same code path serves a running process and the
+``repro obs export`` CLI reading a telemetry sidecar file off disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Mapping, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = ["prometheus_text", "json_text", "registry_prometheus"]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{key}="{_escape(value)}"' for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def prometheus_text(snapshot: Mapping[str, object]) -> str:
+    """Render a registry snapshot in the Prometheus text exposition
+    format (``# HELP``/``# TYPE`` headers, cumulative ``le`` buckets,
+    ``_sum``/``_count`` series for histograms)."""
+    families = snapshot.get("families") or {}
+    series = snapshot.get("series") or []
+    by_family: Dict[str, List[Mapping[str, object]]] = {}
+    for entry in series:  # type: ignore[union-attr]
+        by_family.setdefault(str(entry["name"]), []).append(entry)
+
+    lines: List[str] = []
+    for name in sorted(by_family):
+        meta = families.get(name, {})  # type: ignore[union-attr]
+        kind = str(meta.get("type", "untyped"))
+        help_text = str(meta.get("help", "")).strip()
+        if help_text:
+            lines.append(f"# HELP {name} {_escape(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in by_family[name]:
+            labels = dict(entry.get("labels") or {})  # type: ignore[arg-type]
+            if kind == "histogram":
+                lines.extend(_histogram_lines(name, meta, labels, entry))
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(float(entry['value']))}"  # type: ignore[arg-type]
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_lines(
+    name: str,
+    meta: Mapping[str, object],
+    labels: Mapping[str, str],
+    entry: Mapping[str, object],
+) -> List[str]:
+    buckets = list(meta.get("buckets") or [])  # type: ignore[arg-type]
+    counts = list(entry.get("counts") or [])  # type: ignore[arg-type]
+    lines: List[str] = []
+    cumulative = 0
+    for boundary, count in zip(buckets + [math.inf], counts):
+        cumulative += int(count)
+        le = 'le="' + _format_value(float(boundary)) + '"'
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, extra=le)} {cumulative}"
+        )
+    lines.append(
+        f"{name}_sum{_format_labels(labels)} "
+        f"{_format_value(float(entry.get('sum', 0.0)))}"  # type: ignore[arg-type]
+    )
+    lines.append(
+        f"{name}_count{_format_labels(labels)} {int(entry.get('count', 0))}"  # type: ignore[arg-type]
+    )
+    return lines
+
+
+def json_text(
+    snapshot: Mapping[str, object],
+    *,
+    indent: Optional[int] = 2,
+) -> str:
+    """Render a registry snapshot as stable, sorted JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def registry_prometheus(registry: MetricsRegistry) -> str:
+    """Convenience: export a live registry (snapshots then renders)."""
+    return prometheus_text(registry.snapshot())

@@ -1,0 +1,94 @@
+"""TelemetryService: the middleware plug-in that meters a run.
+
+Sibling of :class:`~repro.middleware.logging_service.LoggingService`:
+attach it and every bus event becomes a counter, the pool size becomes
+a gauge, and -- because attaching also hands the bundle to the manager
+via ``Middleware.attach_telemetry`` -- the hot-path stage timers
+(receive/check/resolve/use/deliver) land in the same registry.  Code
+that publishes events gets metrics coverage for free; the explicit
+timer hooks cover what bus events are too coarse to see.
+
+The service retains every handler it subscribes and removes them again
+in :meth:`on_detach`, so detaching and re-attaching to a fresh
+middleware never double-counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Type
+
+from ..middleware.bus import (
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+    ContextReceived,
+    Event,
+    InconsistencyDetected,
+    SubscriberError,
+)
+from ..middleware.service import MiddlewareService
+from .telemetry import Telemetry
+
+__all__ = ["TelemetryService"]
+
+#: Event-type -> counter family derived automatically on attach.
+_EVENT_COUNTERS: Tuple[Tuple[Type[Event], str, str], ...] = (
+    (ContextReceived, "contexts_received_total", "Contexts handed over by sources"),
+    (ContextDelivered, "contexts_delivered_total", "Contexts delivered to applications"),
+    (ContextDiscarded, "contexts_discarded_total", "Contexts discarded by the strategy"),
+    (ContextExpired, "contexts_expired_total", "Contexts whose availability lapsed"),
+    (InconsistencyDetected, "inconsistencies_detected_total", "Constraint violations detected"),
+    (SubscriberError, "subscriber_errors_total", "Bus subscriber callbacks that raised"),
+)
+
+
+class TelemetryService(MiddlewareService):
+    """Derives metrics from bus events; owns (or shares) a bundle."""
+
+    name = "telemetry"
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._subscribed: List[Tuple[Type[Event], object]] = []
+        self._bus = None
+
+    def on_attach(self, middleware) -> None:
+        middleware.attach_telemetry(self.telemetry)
+        bus = middleware.bus
+        self._bus = bus
+        registry = self.telemetry.registry
+        pool = middleware.pool
+
+        events_total = registry.counter(
+            "bus_events_total", help="Events published on the middleware bus"
+        )
+        pool_gauge = registry.gauge(
+            "pool_size", help="Live contexts in the context pool"
+        )
+
+        def tap(event: Event) -> None:
+            events_total.inc()
+            pool_gauge.set(len(pool))
+
+        self._subscribe(bus, Event, tap)
+
+        for event_type, family, help_text in _EVENT_COUNTERS:
+            counter = registry.counter(family, help=help_text)
+
+            def bump(event: Event, _counter=counter) -> None:
+                _counter.inc()
+
+            self._subscribe(bus, event_type, bump)
+
+    def on_detach(self, middleware) -> None:
+        """Unsubscribe every retained handler (safe to re-attach later)."""
+        if self._bus is None:
+            return
+        for event_type, handler in self._subscribed:
+            self._bus.unsubscribe(event_type, handler)
+        self._subscribed.clear()
+        self._bus = None
+
+    def _subscribe(self, bus, event_type: Type[Event], handler) -> None:
+        bus.subscribe(event_type, handler)
+        self._subscribed.append((event_type, handler))

@@ -1,0 +1,194 @@
+"""Telemetry sidecars: the ``TELEMETRY_*.json`` files benchmarks emit.
+
+A sidecar is one run's full telemetry -- registry snapshot, span
+counts, and the span ring -- written next to the benchmark outputs
+(``benchmarks/out/``) so a regression in per-stage latency is
+diagnosable from the artifact alone, without re-running anything.
+
+``repro obs summary|export|spans`` all operate on sidecar files
+through :func:`read_sidecar`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from .telemetry import STAGE_HISTOGRAM, Telemetry
+
+__all__ = [
+    "write_sidecar",
+    "read_sidecar",
+    "sidecar_summary",
+    "sidecar_slowest_spans",
+    "stage_histogram_nonempty",
+]
+
+#: Sidecar document format version (bump on incompatible change).
+SIDECAR_VERSION = 1
+
+
+def write_sidecar(
+    path: Union[str, Path],
+    telemetry: Telemetry,
+    *,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write one telemetry sidecar; returns the document written."""
+    snapshot = telemetry.snapshot()
+    document: Dict[str, object] = {
+        "version": SIDECAR_VERSION,
+        "meta": dict(meta or {}),
+        "metrics": snapshot["metrics"],
+        "span_counts": snapshot["trace"]["counts"],  # type: ignore[index]
+        "spans": snapshot["trace"]["spans"],  # type: ignore[index]
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document
+
+
+def read_sidecar(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a sidecar document, validating the coarse shape."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "metrics" not in document:
+        raise ValueError(f"{path} is not a telemetry sidecar")
+    return document
+
+
+# -- human-readable rendering -------------------------------------------------
+
+
+def _series(document: Mapping[str, object]) -> List[Mapping[str, object]]:
+    metrics = document.get("metrics") or {}
+    return list(metrics.get("series") or [])  # type: ignore[union-attr]
+
+
+def _families(document: Mapping[str, object]) -> Mapping[str, object]:
+    metrics = document.get("metrics") or {}
+    return metrics.get("families") or {}  # type: ignore[union-attr]
+
+
+def _histogram_percentile(
+    buckets: List[float], counts: List[int], q: float
+) -> float:
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank:
+            if index < len(buckets):
+                return buckets[index]
+            return buckets[-1] if buckets else 0.0
+    return buckets[-1] if buckets else 0.0
+
+
+def sidecar_summary(document: Mapping[str, object]) -> str:
+    """The ``repro obs summary`` text: counters, stage latencies, spans."""
+    lines: List[str] = ["Telemetry summary"]
+    meta = document.get("meta") or {}
+    for key in sorted(meta):  # type: ignore[arg-type]
+        lines.append(f"  {key}: {meta[key]}")  # type: ignore[index]
+
+    families = _families(document)
+    series = _series(document)
+
+    counters = [
+        entry
+        for entry in series
+        if families.get(str(entry["name"]), {}).get("type") == "counter"  # type: ignore[union-attr]
+    ]
+    if counters:
+        lines.append("")
+        lines.append("Counters:")
+        for entry in counters:
+            labels = dict(entry.get("labels") or {})  # type: ignore[arg-type]
+            label_text = (
+                " {" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            lines.append(
+                f"  {entry['name']}{label_text}: {entry.get('value', 0):g}"
+            )
+
+    histograms = [
+        entry
+        for entry in series
+        if families.get(str(entry["name"]), {}).get("type") == "histogram"  # type: ignore[union-attr]
+    ]
+    if histograms:
+        lines.append("")
+        lines.append("Latency histograms (p50 / p95 / max-bucket, seconds):")
+        for entry in histograms:
+            name = str(entry["name"])
+            buckets = [
+                float(b)
+                for b in (families.get(name, {}).get("buckets") or [])  # type: ignore[union-attr]
+            ]
+            counts = [int(c) for c in (entry.get("counts") or [])]  # type: ignore[union-attr]
+            labels = dict(entry.get("labels") or {})  # type: ignore[arg-type]
+            label_text = (
+                " {" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            p50 = _histogram_percentile(buckets, counts, 0.50)
+            p95 = _histogram_percentile(buckets, counts, 0.95)
+            p100 = _histogram_percentile(buckets, counts, 1.0)
+            lines.append(
+                f"  {name}{label_text}: n={sum(counts)}"
+                f"  p50<={p50:g}  p95<={p95:g}  max<={p100:g}"
+                f"  sum={float(entry.get('sum', 0.0)):.6f}s"  # type: ignore[arg-type]
+            )
+
+    span_counts = document.get("span_counts") or {}
+    if span_counts:
+        lines.append("")
+        lines.append("Span counts:")
+        for name in sorted(span_counts):  # type: ignore[arg-type]
+            lines.append(f"  {name}: {span_counts[name]}")  # type: ignore[index]
+    return "\n".join(lines)
+
+
+def sidecar_slowest_spans(
+    document: Mapping[str, object], top: int = 10
+) -> str:
+    """The ``repro obs spans --top N`` text: slowest ringed spans."""
+    spans = list(document.get("spans") or [])
+    spans.sort(key=lambda s: float(s.get("duration", 0.0)), reverse=True)
+    lines = [f"Slowest spans (top {top} of {len(spans)} ringed)"]
+    for span in spans[: max(0, top)]:
+        attrs = span.get("attrs") or {}
+        attr_text = (
+            " " + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"  {float(span.get('duration', 0.0)) * 1e3:9.3f} ms"
+            f"  {span.get('name')}{attr_text}"
+        )
+    if len(spans) == 0:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)
+
+
+def stage_histogram_nonempty(
+    document: Mapping[str, object], stage: str
+) -> bool:
+    """Whether the sidecar has observations for one pipeline stage."""
+    for entry in _series(document):
+        if str(entry["name"]) != STAGE_HISTOGRAM:
+            continue
+        labels = dict(entry.get("labels") or {})  # type: ignore[arg-type]
+        if labels.get("stage") == stage and int(entry.get("count", 0)) > 0:  # type: ignore[arg-type]
+            return True
+    return False

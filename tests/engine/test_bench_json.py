@@ -69,3 +69,36 @@ class TestScalabilityBench:
         # silent wrong report would be a failure, and the runner
         # compared decisions either way.
         pytest.skip("drop-random happened to agree on this stream")
+
+
+class TestCorruptBenchJson:
+    def test_corrupt_file_logs_warning_and_resets(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("{not json at all", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            document = write_bench_json(path, "wl", {"x": 1})
+        assert "resetting corrupt bench JSON" in caplog.text
+        assert document == {"wl": {"x": 1}}
+        assert json.loads(path.read_text(encoding="utf-8")) == {"wl": {"x": 1}}
+
+    def test_non_object_top_level_logs_warning_and_resets(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            document = write_bench_json(path, "wl", {"x": 1})
+        assert "expected object" in caplog.text
+        assert document == {"wl": {"x": 1}}
+
+    def test_healthy_file_keeps_other_workloads_silently(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "BENCH_engine.json"
+        write_bench_json(path, "first", {"a": 1})
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            document = write_bench_json(path, "second", {"b": 2})
+        assert caplog.text == ""
+        assert document == {"first": {"a": 1}, "second": {"b": 2}}

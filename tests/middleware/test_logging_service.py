@@ -65,3 +65,29 @@ class TestLoggingService:
         with caplog.at_level(logging.DEBUG, logger="my.app"):
             middleware.receive(loc("a", 0.0, 0.0))
         assert any(r.name == "my.app" for r in caplog.records)
+
+
+class TestDetachReattach:
+    def test_detach_unsubscribes_and_reattach_logs_once(self, middleware, caplog):
+        service = LoggingService()
+        middleware.plug_in(service)
+        detached = middleware.unplug("logging")
+        assert detached is service
+
+        # Events after detach produce no log lines.
+        with caplog.at_level(logging.DEBUG, logger="repro.middleware"):
+            middleware.receive_all([loc("a", 0.0, 0.0)])
+        assert "received a" not in caplog.text
+
+        # Re-attaching to a fresh manager logs each event exactly once
+        # (a stale subscription left behind would double every line).
+        checker = ConstraintChecker([])
+        fresh = Middleware(checker, make_strategy("drop-latest"), use_window=1)
+        fresh.plug_in(service)
+        caplog.clear()
+        with caplog.at_level(logging.DEBUG, logger="repro.middleware"):
+            fresh.receive_all([loc("b", 0.0, 0.0)])
+        received_lines = [
+            r.message for r in caplog.records if "received b" in r.message
+        ]
+        assert len(received_lines) == 1

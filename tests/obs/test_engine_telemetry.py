@@ -1,0 +1,101 @@
+"""Engine + telemetry integration: merged registries across run modes.
+
+The engine's accounting invariant: whatever the execution mode, the
+parent bundle's registry ends up holding the sum of every shard's
+accounting, and ``EngineMetrics.from_registry`` reads the same totals
+the event stream implies.  Worker bundles travel as snapshots over the
+result queues; a worker that died mid-serialization must degrade to a
+warning, not corrupt the merge.
+"""
+
+import pytest
+
+from repro.engine import EngineConfig, ShardedEngine
+from repro.engine.metrics import EngineMetrics
+from repro.engine.workload import scalability_workload
+from repro.obs import Telemetry
+
+N_CONTEXTS = 240
+SHARDS = 4
+
+
+def run_engine(mode, telemetry):
+    constraints, contexts = scalability_workload(N_CONTEXTS)
+    engine = ShardedEngine(
+        constraints,
+        strategy="drop-latest",
+        config=EngineConfig(shards=SHARDS, mode=mode, use_window=8),
+        telemetry=telemetry,
+    )
+    return engine.run(contexts)
+
+
+class TestMergedRegistries:
+    @pytest.mark.parametrize("mode", ["inline", "local", "process"])
+    def test_parent_registry_sums_shard_accounting(self, mode):
+        telemetry = Telemetry(enabled=True)
+        result = run_engine(mode, telemetry)
+        registry = telemetry.registry
+
+        delivered = sum(
+            registry.value(
+                "engine_shard_delivered_total", {"shard": str(shard)}
+            )
+            for shard in range(SHARDS)
+        )
+        discarded = sum(
+            registry.value(
+                "engine_shard_discarded_total", {"shard": str(shard)}
+            )
+            for shard in range(SHARDS)
+        )
+        routed = sum(
+            registry.value(
+                "engine_shard_contexts_total", {"shard": str(shard)}
+            )
+            for shard in range(SHARDS)
+        )
+        assert delivered == result.metrics.delivered_total == len(result.delivered)
+        assert discarded == result.metrics.discarded_total == len(result.discarded)
+        assert routed == N_CONTEXTS
+
+    @pytest.mark.parametrize("mode", ["inline", "local"])
+    def test_stage_histograms_and_span_counts_merge(self, mode):
+        telemetry = Telemetry(enabled=True)
+        result = run_engine(mode, telemetry)
+        counts = telemetry.tracer.counts
+        # One deliver span per delivery, one discard span per discard,
+        # whichever threads (or the inline loop) produced them.
+        assert counts.get("stage.deliver", 0) == result.metrics.delivered_total
+        assert counts.get("stage.discard", 0) == result.metrics.discarded_total
+        from repro.obs.telemetry import STAGE_HISTOGRAM
+
+        histogram = telemetry.registry.histogram(
+            STAGE_HISTOGRAM, labels={"stage": "check"}
+        )
+        assert histogram.count > 0
+
+    def test_from_registry_matches_event_derived_metrics(self):
+        telemetry = Telemetry(enabled=True)
+        result = run_engine("inline", telemetry)
+        view = EngineMetrics.from_registry(
+            telemetry.registry, mode="inline", shards=SHARDS
+        )
+        assert view.delivered_total == result.metrics.delivered_total
+        assert view.discarded_total == result.metrics.discarded_total
+        assert view.contexts_total == result.metrics.contexts_total
+        assert [s.shard_id for s in view.per_shard] == list(range(SHARDS))
+
+    def test_dead_worker_reads_as_zeros_not_corruption(self):
+        # A shard that never flushed (e.g. its worker died) must read
+        # as zeros in the view, and a mangled snapshot must merge to a
+        # warning rather than an exception.
+        telemetry = Telemetry(enabled=True)
+        run_engine("inline", telemetry)
+        telemetry.merge_snapshot({"metrics": {"families": {}, "series": "x"}})
+        telemetry.merge_snapshot("not-a-snapshot")
+        view = EngineMetrics.from_registry(
+            telemetry.registry, mode="inline", shards=SHARDS + 2
+        )
+        dead = [s for s in view.per_shard if s.shard_id >= SHARDS]
+        assert all(s.contexts == 0 and s.delivered == 0 for s in dead)

@@ -1,0 +1,64 @@
+"""Tests for the Prometheus-text and JSON exporters."""
+
+import json
+
+from repro.obs.exporters import json_text, prometheus_text, registry_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "ctx_total", help="Contexts seen", labels={"shard": "0"}
+    ).inc(5)
+    registry.gauge("pool_size", help="Live pool").set(3)
+    histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_headers_and_scalar_series(self):
+        text = registry_prometheus(populated_registry())
+        assert "# HELP ctx_total Contexts seen" in text
+        assert "# TYPE ctx_total counter" in text
+        assert 'ctx_total{shard="0"} 5' in text
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 3" in text
+
+    def test_histogram_le_buckets_are_cumulative_with_inf(self):
+        text = registry_prometheus(populated_registry())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("weird", labels={"k": 'a"b\\c\nd'}).inc()
+        text = registry_prometheus(registry)
+        assert r'weird{k="a\"b\\c\nd"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_render_from_sidecar_style_snapshot(self):
+        # The CLI path renders snapshots loaded from JSON, where tuples
+        # became lists; the exporter must not care.
+        snapshot = json.loads(json_text(populated_registry().snapshot()))
+        assert 'ctx_total{shard="0"} 5' in prometheus_text(snapshot)
+
+
+class TestJsonText:
+    def test_stable_sorted_output(self):
+        registry = populated_registry()
+        first = json_text(registry.snapshot())
+        second = json_text(registry.snapshot())
+        assert first == second
+        document = json.loads(first)
+        assert document["families"]["ctx_total"]["type"] == "counter"
+        names = [entry["name"] for entry in document["series"]]
+        assert names == sorted(names)

@@ -1,0 +1,86 @@
+"""Tests for the TelemetryService middleware plug-in."""
+
+from repro.constraints.checker import ConstraintChecker
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+from repro.core.strategy import make_strategy
+from repro.middleware.manager import Middleware
+from repro.obs import TelemetryService
+from repro.obs.telemetry import STAGE_HISTOGRAM
+
+
+def loc(ctx_id, x, t):
+    return Context(
+        ctx_id=ctx_id,
+        ctx_type="location",
+        subject="p",
+        value=(float(x), 0.0),
+        timestamp=float(t),
+    )
+
+
+def build_middleware():
+    checker = ConstraintChecker(
+        [
+            parse_constraint(
+                "velocity",
+                "forall l1 in location, forall l2 in location : "
+                "(same_subject(l1, l2) and before(l1, l2)) "
+                "implies velocity_le(l1, l2, 1.5)",
+            )
+        ]
+    )
+    return Middleware(checker, make_strategy("drop-latest"), use_window=1)
+
+
+class TestTelemetryService:
+    def test_bus_events_become_counters(self):
+        middleware = build_middleware()
+        service = TelemetryService()
+        middleware.plug_in(service)
+        # b violates the velocity constraint against a -> one discard.
+        middleware.receive_all([loc("a", 0.0, 0.0), loc("b", 9.0, 1.0)])
+        registry = service.telemetry.registry
+        assert registry.value("contexts_received_total") == 2
+        assert registry.value("inconsistencies_detected_total") == 1
+        assert registry.value("contexts_discarded_total") == 1
+        assert registry.value("contexts_delivered_total") == 1
+        assert registry.value("bus_events_total") >= 5
+        assert registry.value("pool_size") >= 0
+
+    def test_attach_wires_stage_timers_into_same_registry(self):
+        middleware = build_middleware()
+        service = TelemetryService()
+        middleware.plug_in(service)
+        middleware.receive_all([loc("a", 0.0, 0.0), loc("b", 0.1, 1.0)])
+        registry = service.telemetry.registry
+        histogram = registry.histogram(STAGE_HISTOGRAM, labels={"stage": "receive"})
+        assert histogram.count == 2
+        assert service.telemetry.tracer.counts["stage.deliver"] == 2
+
+    def test_detach_unsubscribes_and_reattach_does_not_double_count(self):
+        first = build_middleware()
+        service = TelemetryService()
+        first.plug_in(service)
+        first.receive_all([loc("a", 0.0, 0.0)])
+        detached = first.unplug("telemetry")
+        assert detached is service
+
+        # Events after detach must not be counted.
+        first.receive_all([loc("b", 0.1, 1.0)])
+        registry = service.telemetry.registry
+        assert registry.value("contexts_received_total") == 1
+
+        # Re-attach to a fresh middleware: counting resumes, single-fold.
+        second = build_middleware()
+        second.plug_in(service)
+        second.receive_all([loc("c", 0.0, 0.0)])
+        assert registry.value("contexts_received_total") == 2
+
+    def test_shared_bundle_can_be_injected(self):
+        from repro.obs import Telemetry
+
+        bundle = Telemetry(enabled=True)
+        middleware = build_middleware()
+        middleware.plug_in(TelemetryService(bundle))
+        assert middleware.telemetry is bundle

@@ -1,0 +1,91 @@
+"""Tests for telemetry sidecar files and their renderers."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Telemetry,
+    read_sidecar,
+    sidecar_slowest_spans,
+    sidecar_summary,
+    stage_histogram_nonempty,
+    write_sidecar,
+)
+
+
+def recorded_telemetry():
+    telemetry = Telemetry(enabled=True)
+    with telemetry.stage("check"):
+        pass
+    with telemetry.stage("deliver"):
+        pass
+    telemetry.count("ctx_total", 7, help="Contexts seen")
+    return telemetry
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "TELEMETRY_x.json"
+        written = write_sidecar(
+            path, recorded_telemetry(), meta={"benchmark": "unit"}
+        )
+        document = read_sidecar(path)
+        assert document == written
+        assert document["version"] == 1
+        assert document["meta"] == {"benchmark": "unit"}
+        assert document["span_counts"] == {
+            "stage.check": 1,
+            "stage.deliver": 1,
+        }
+        assert len(document["spans"]) == 2
+
+    def test_read_rejects_non_sidecar(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"something": "else"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="not a telemetry sidecar"):
+            read_sidecar(path)
+
+    def test_read_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_sidecar(tmp_path / "absent.json")
+
+
+class TestRenderers:
+    def test_stage_histogram_nonempty(self, tmp_path):
+        path = tmp_path / "TELEMETRY_x.json"
+        write_sidecar(path, recorded_telemetry())
+        document = read_sidecar(path)
+        assert stage_histogram_nonempty(document, "check")
+        assert stage_histogram_nonempty(document, "deliver")
+        assert not stage_histogram_nonempty(document, "resolve")
+
+    def test_summary_lists_counters_histograms_spans(self, tmp_path):
+        path = tmp_path / "TELEMETRY_x.json"
+        document = write_sidecar(
+            path, recorded_telemetry(), meta={"benchmark": "unit"}
+        )
+        text = sidecar_summary(document)
+        assert "benchmark: unit" in text
+        assert "ctx_total: 7" in text
+        assert "repro_stage_seconds {stage=check}" in text
+        assert "stage.deliver: 1" in text
+
+    def test_slowest_spans_ordered_and_capped(self):
+        document = {
+            "metrics": {},
+            "spans": [
+                {"name": "fast", "duration": 0.001},
+                {"name": "slow", "duration": 0.5, "attrs": {"k": "v"}},
+                {"name": "mid", "duration": 0.1},
+            ],
+        }
+        text = sidecar_slowest_spans(document, top=2)
+        lines = text.splitlines()
+        assert "slow" in lines[1] and "k=v" in lines[1]
+        assert "mid" in lines[2]
+        assert len(lines) == 3
+
+    def test_slowest_spans_empty(self):
+        text = sidecar_slowest_spans({"metrics": {}, "spans": []})
+        assert "(no spans recorded)" in text

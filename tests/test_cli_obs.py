@@ -1,0 +1,124 @@
+"""Tests for the ``repro obs`` CLI and the engine telemetry sidecars."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import Telemetry, write_sidecar
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def sidecar_path(tmp_path):
+    telemetry = Telemetry(enabled=True)
+    with telemetry.stage("check"):
+        pass
+    with telemetry.stage("deliver"):
+        pass
+    telemetry.count("ctx_total", 3, help="Contexts seen")
+    path = tmp_path / "TELEMETRY_unit.json"
+    write_sidecar(path, telemetry, meta={"benchmark": "unit"})
+    return path
+
+
+class TestObsParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_export_validates_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "export", "x.json", "--format", "xml"])
+
+
+class TestObsCommands:
+    def test_summary(self, sidecar_path):
+        code, text = run_cli("obs", "summary", str(sidecar_path))
+        assert code == 0
+        assert "benchmark: unit" in text
+        assert "ctx_total: 3" in text
+        assert "stage.deliver: 1" in text
+
+    def test_export_prometheus(self, sidecar_path):
+        code, text = run_cli(
+            "obs", "export", str(sidecar_path), "--format", "prom"
+        )
+        assert code == 0
+        assert "# TYPE ctx_total counter" in text
+        assert "ctx_total 3" in text
+        assert 'repro_stage_seconds_bucket{stage="check",le="+Inf"} 1' in text
+
+    def test_export_json(self, sidecar_path):
+        code, text = run_cli(
+            "obs", "export", str(sidecar_path), "--format", "json"
+        )
+        assert code == 0
+        document = json.loads(text)
+        assert document["families"]["ctx_total"]["type"] == "counter"
+
+    def test_spans(self, sidecar_path):
+        code, text = run_cli("obs", "spans", str(sidecar_path), "--top", "1")
+        assert code == 0
+        assert "Slowest spans (top 1 of 2 ringed)" in text
+
+    def test_missing_file_is_exit_2(self, tmp_path):
+        code, _ = run_cli("obs", "summary", str(tmp_path / "absent.json"))
+        assert code == 2
+
+    def test_non_sidecar_is_exit_2(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"something": "else"}', encoding="utf-8")
+        code, _ = run_cli("obs", "summary", str(path))
+        assert code == 2
+
+
+class TestEngineTelemetrySidecars:
+    def test_engine_run_writes_sidecar_on_request(self, tmp_path):
+        path = tmp_path / "TELEMETRY_run.json"
+        code, text = run_cli(
+            "engine", "run", "rfid", "--shards", "2",
+            "--telemetry-out", str(path),
+        )
+        assert code == 0
+        assert f"telemetry sidecar written to {path}" in text
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["span_counts"].get("stage.deliver", 0) > 0
+
+    def test_engine_bench_writes_sidecar_by_default_path(self, tmp_path):
+        bench_json = tmp_path / "BENCH.json"
+        sidecar = tmp_path / "TELEMETRY_bench.json"
+        code, text = run_cli(
+            "engine", "bench", "--shards", "1", "2",
+            "--contexts", "200", "--repeats", "1",
+            "--json", str(bench_json),
+            "--telemetry-out", str(sidecar),
+        )
+        assert code == 0
+        assert sidecar.exists()
+        document = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert document["meta"]
+        assert any(
+            entry["name"] == "repro_stage_seconds"
+            for entry in document["metrics"]["series"]
+        )
+
+    def test_engine_bench_no_telemetry_skips_sidecar(self, tmp_path):
+        bench_json = tmp_path / "BENCH.json"
+        sidecar = tmp_path / "TELEMETRY_bench.json"
+        code, text = run_cli(
+            "engine", "bench", "--shards", "1",
+            "--contexts", "200", "--repeats", "1",
+            "--json", str(bench_json),
+            "--telemetry-out", str(sidecar),
+            "--no-telemetry",
+        )
+        assert code == 0
+        assert not sidecar.exists()
+        assert "telemetry sidecar" not in text
