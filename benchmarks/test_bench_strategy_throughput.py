@@ -7,11 +7,15 @@ the paper's note that resolution runs as a middleware service on
 commodity hardware.
 """
 
+import time
+
 import pytest
 
 from repro.apps.call_forwarding import CallForwardingApp
 from repro.core.strategy import make_strategy
 from repro.experiments.harness import run_group
+from repro.middleware.pool import ContextPool
+from tests.conftest import make_context
 
 APP = CallForwardingApp()
 STREAM = APP.generate_workload(0.3, seed=88, duration=200.0)
@@ -34,3 +38,32 @@ def test_pipeline_throughput(benchmark, strategy_name):
 
     metrics = benchmark.pedantic(run, rounds=3, iterations=1)
     assert metrics.contexts_total == len(STREAM)
+
+
+def _per_remove_seconds(n_contexts: int) -> float:
+    """Best-of-3 per-remove cost of draining a pool of ``n_contexts``."""
+    contexts = [make_context(ctx_id=f"p{i}") for i in range(n_contexts)]
+    best = float("inf")
+    for _ in range(3):
+        pool = ContextPool()
+        for ctx in contexts:
+            pool.add(ctx)
+        started = time.perf_counter()
+        for ctx in contexts:
+            pool.remove(ctx)
+        best = min(best, (time.perf_counter() - started) / n_contexts)
+    return best
+
+
+def test_pool_remove_stays_constant_time_at_10k_contexts():
+    # Discard is on the resolution hot path.  With the old side list
+    # (`_order.remove`) each remove scanned/shifted O(live) entries, so
+    # per-remove cost grew ~20x from 1k to 20k contexts; the ordered
+    # dict keeps it flat.  The bound is generous (timing noise), but
+    # far below the linear blow-up it guards against.
+    small = _per_remove_seconds(1_000)
+    large = _per_remove_seconds(20_000)
+    assert large < small * 8, (
+        f"pool remove degraded super-linearly: {small * 1e9:.0f}ns/remove "
+        f"at 1k contexts vs {large * 1e9:.0f}ns/remove at 20k"
+    )

@@ -125,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
     engine_run.add_argument("--delay", type=float, default=None)
     engine_run.add_argument("--batch-size", type=int, default=64)
     engine_run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker respawns allowed per shard in process mode "
+        "(default: %(default)s -> FaultConfig default)",
+    )
+    engine_run.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds without batch progress before a process-mode "
+        "worker is declared hung and retried",
+    )
+    engine_run.add_argument(
         "--telemetry-out",
         default=None,
         metavar="PATH",
@@ -272,7 +288,12 @@ def _cmd_trace(args, out) -> int:
 
 
 def _cmd_engine(args, out) -> int:
-    from .engine import EngineConfig, ShardedEngine, write_bench_json
+    from .engine import (
+        EngineConfig,
+        FaultConfig,
+        ShardedEngine,
+        write_bench_json,
+    )
     from .engine.workload import run_scalability_bench
     from .obs import Telemetry, write_sidecar
 
@@ -329,12 +350,18 @@ def _cmd_engine(args, out) -> int:
         args.window if args.window is not None else defaults["use_window"]
     )
     try:
+        fault_overrides = {}
+        if args.max_retries is not None:
+            fault_overrides["max_retries"] = args.max_retries
+        if args.batch_timeout is not None:
+            fault_overrides["batch_timeout_s"] = args.batch_timeout
         config = EngineConfig(
             shards=args.shards,
             mode=args.mode,
             use_window=use_window,
             use_delay=args.delay,
             batch_size=args.batch_size,
+            fault=FaultConfig(**fault_overrides),
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -358,13 +385,24 @@ def _cmd_engine(args, out) -> int:
         f"inconsistencies {metrics.inconsistencies_total}",
         file=out,
     )
-    for stats in metrics.per_shard:
+    if metrics.worker_restarts or metrics.degraded_shards:
         print(
-            f"  shard {stats.shard_id}: {stats.constraints} constraints, "
-            f"{stats.contexts} contexts, {stats.delivered} delivered, "
-            f"{stats.discarded} discarded",
+            f"  fault tolerance: {metrics.worker_restarts} worker "
+            f"restart(s), {metrics.batches_replayed} batch(es) replayed, "
+            f"{metrics.degraded_shards} shard(s) degraded",
             file=out,
         )
+    for stats in metrics.per_shard:
+        line = (
+            f"  shard {stats.shard_id}: {stats.constraints} constraints, "
+            f"{stats.contexts} contexts, {stats.delivered} delivered, "
+            f"{stats.discarded} discarded"
+        )
+        if stats.restarts or stats.degraded:
+            line += f", {stats.restarts} restart(s)"
+            if stats.degraded:
+                line += ", degraded"
+        print(line, file=out)
     if telemetry is not None:
         write_sidecar(
             args.telemetry_out,

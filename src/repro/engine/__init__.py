@@ -16,18 +16,29 @@ See ``docs/engine.md`` for the architecture and the shard-safety
 argument.
 """
 
-from .config import EngineConfig
+from .config import EngineConfig, FaultConfig
 from .facade import ShardedEngine
 from .merge import EngineResult, merge_events
 from .metrics import EngineMetrics, ShardStats, write_bench_json
 from .router import ContextRouter
 from .scope import ScopePartition, partition_constraints
-from .shard import ShardPipeline, ShardRunResult, ShardSpec, run_shard_substream
+from .shard import (
+    ShardCheckpoint,
+    ShardExecutionState,
+    ShardPipeline,
+    ShardRunResult,
+    ShardSpec,
+    run_shard_substream,
+)
+from .supervisor import EngineWorkerError, ShardSupervisor
 from .workload import run_scalability_bench, scalability_workload
 
 __all__ = [
     "EngineConfig",
+    "FaultConfig",
     "ShardedEngine",
+    "EngineWorkerError",
+    "ShardSupervisor",
     "EngineResult",
     "merge_events",
     "EngineMetrics",
@@ -36,6 +47,8 @@ __all__ = [
     "ContextRouter",
     "ScopePartition",
     "partition_constraints",
+    "ShardCheckpoint",
+    "ShardExecutionState",
     "ShardPipeline",
     "ShardRunResult",
     "ShardSpec",

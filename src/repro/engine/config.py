@@ -6,10 +6,10 @@ the CLI, the benchmarks and the tests construct engines the same way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["EngineConfig"]
+__all__ = ["EngineConfig", "FaultConfig"]
 
 #: Execution modes.
 #:
@@ -26,6 +26,99 @@ __all__ = ["EngineConfig"]
 #:   windows and timestamp-ordered streams this is decision-equivalent
 #:   to ``inline`` (see docs/engine.md).
 MODES = ("inline", "local", "process")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-tolerance tunables of the process execution mode.
+
+    The supervisor (:mod:`repro.engine.supervisor`) retries a failed
+    shard worker with exponential backoff, replays its unacknowledged
+    batches from the last checkpoint, and -- once the retry budget is
+    spent -- either degrades the shard to in-parent ``local`` execution
+    or raises :class:`~repro.engine.supervisor.EngineWorkerError`.
+    Decisions are identical whichever path executes (see
+    docs/engine.md, "Failure handling").
+
+    Parameters
+    ----------
+    max_retries:
+        Worker respawns allowed per shard after the initial attempt.
+    batch_timeout_s:
+        Seconds without batch progress (acks) before an alive worker
+        with outstanding work is declared hung and terminated.
+    backoff_base_s:
+        First retry delay; doubles per attempt up to ``backoff_max_s``.
+    backoff_max_s:
+        Upper bound on the exponential backoff delay.
+    backoff_jitter:
+        Fractional random jitter applied to each delay (``0.1`` means
+        +-10%), decorrelating simultaneous respawns.
+    heartbeat_interval_s:
+        Period of the worker's heartbeat thread.  A worker whose
+        heartbeats stop while it has outstanding work is treated as
+        stalled without waiting out the full batch timeout.  ``0``
+        disables heartbeats.
+    checkpoint_every:
+        A worker ships a state checkpoint with every Nth batch ack;
+        replay after a failure restarts from the last checkpoint, so
+        this bounds both the replay-log memory and the recomputation a
+        crash can cost.  ``0`` disables checkpointing (a failed shard
+        replays its whole sub-stream).
+    degrade_on_exhaustion:
+        When a shard exceeds ``max_retries``: ``True`` continues the
+        shard in-parent (``local`` execution, same decisions),
+        ``False`` raises ``EngineWorkerError``.
+    """
+
+    max_retries: int = 2
+    batch_timeout_s: float = 30.0
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    backoff_jitter: float = 0.1
+    heartbeat_interval_s: float = 0.5
+    checkpoint_every: int = 8
+    degrade_on_exhaustion: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.batch_timeout_s <= 0:
+            raise ValueError(
+                f"batch_timeout_s must be > 0, got {self.batch_timeout_s}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError(
+                "backoff_max_s must be >= backoff_base_s, got "
+                f"{self.backoff_max_s} < {self.backoff_base_s}"
+            )
+        if not 0 <= self.backoff_jitter <= 1:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if self.heartbeat_interval_s < 0:
+            raise ValueError(
+                "heartbeat_interval_s must be >= 0, got "
+                f"{self.heartbeat_interval_s}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Deterministic (pre-jitter) delay before retry ``attempt``."""
+        if attempt < 1:
+            return 0.0
+        return min(
+            self.backoff_max_s, self.backoff_base_s * 2 ** (attempt - 1)
+        )
 
 
 @dataclass(frozen=True)
@@ -50,10 +143,14 @@ class EngineConfig:
     batch_size:
         Contexts per batch handed to a shard worker (process mode).
     max_queue_batches:
-        Bound of each shard's input queue, in batches.  When a queue
-        is full the router blocks -- backpressure that keeps memory
-        proportional to ``shards * max_queue_batches * batch_size``
-        however long the stream is.
+        Bound on each shard's in-flight (dispatched, unacknowledged)
+        batches.  When a shard falls this far behind the router stalls
+        -- backpressure that keeps memory proportional to
+        ``shards * max_queue_batches * batch_size`` however long the
+        stream is.
+    fault:
+        Fault-tolerance tunables of process mode (supervision,
+        retry/backoff, checkpointed replay); see :class:`FaultConfig`.
     """
 
     shards: int = 4
@@ -62,6 +159,7 @@ class EngineConfig:
     use_delay: Optional[float] = None
     batch_size: int = 64
     max_queue_batches: int = 8
+    fault: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -79,6 +177,10 @@ class EngineConfig:
         if self.max_queue_batches < 1:
             raise ValueError(
                 f"max_queue_batches must be >= 1, got {self.max_queue_batches}"
+            )
+        if not isinstance(self.fault, FaultConfig):
+            raise ValueError(
+                f"fault must be a FaultConfig, got {type(self.fault).__name__}"
             )
 
     def with_shards(self, shards: int) -> "EngineConfig":

@@ -16,16 +16,21 @@ Three execution modes (see :mod:`repro.engine.config`):
 * ``local`` -- each shard consumes its own sub-stream with shard-local
   windows, sequentially in-process.  The decomposition process mode
   uses, minus the processes.
-* ``process`` -- shards run in worker processes
-  (:mod:`concurrent.futures`), fed batches through bounded queues with
-  backpressure.  Falls back to ``local`` when process pools are
-  unavailable.  Events are merged into deterministic timestamp order
-  after the run and re-published on ``engine.bus``.
+* ``process`` -- shards run in *supervised* worker processes
+  (:mod:`repro.engine.supervisor`), fed batches through queues under
+  ack-based backpressure.  Worker failures are retried with backoff
+  from checkpointed replay logs; a shard that exhausts its retry
+  budget degrades to in-parent execution (or raises
+  :class:`~repro.engine.supervisor.EngineWorkerError`) -- decisions
+  are never dropped silently.  Falls back to ``local`` only when the
+  multiprocessing substrate itself is unavailable.  Events are merged
+  into deterministic timestamp order after the run and re-published on
+  ``engine.bus``.
 """
 
 from __future__ import annotations
 
-import queue as queue_module
+import logging
 import time
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -44,11 +49,13 @@ from .shard import (
     ShardRunResult,
     ShardSpec,
     StreamDriver,
-    run_shard_from_queue,
     run_shard_substream,
 )
+from .supervisor import ShardSupervisor
 
 __all__ = ["ShardedEngine"]
+
+_log = logging.getLogger("repro.engine")
 
 
 class ShardedEngine:
@@ -81,6 +88,14 @@ class ShardedEngine:
         engine always keeps *some* bundle -- metrics are a view over
         its registry -- so omitting this only disables the hot-path
         span/histogram hooks, not the accounting.
+    fault_injector:
+        Optional chaos hook for the fault-injection tests: a picklable
+        callable ``(shard_id, batch_index, attempt, phase)`` invoked
+        inside process-mode workers around each batch (``phase`` is
+        ``"start"`` or ``"mid"``).  Whatever it raises (or does --
+        ``os._exit``, ``time.sleep``) is a *worker* fault for the
+        supervisor to handle; it is never invoked in the parent, so
+        degraded execution runs clean.  ``None`` in production.
     """
 
     def __init__(
@@ -92,6 +107,7 @@ class ShardedEngine:
         registry_factory: Callable[[], FunctionRegistry] = standard_registry,
         config: Optional[EngineConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        fault_injector: Optional[Callable[[int, int, int, str], None]] = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.constraints = tuple(constraints)
@@ -103,6 +119,7 @@ class ShardedEngine:
         #: Outward event stream (same vocabulary as ``Middleware.bus``).
         self.bus = EventBus()
         self.telemetry = telemetry
+        self.fault_injector = fault_injector
 
     # -- construction helpers ----------------------------------------------
 
@@ -120,6 +137,7 @@ class ShardedEngine:
                 use_window=self.config.use_window,
                 use_delay=self.config.use_delay,
                 telemetry_enabled=telemetry_enabled,
+                fault_injector=self.fault_injector,
             )
             for shard_id in range(self.config.shards)
         ]
@@ -220,65 +238,35 @@ class ShardedEngine:
     def _run_process(
         self, contexts: Iterable[Context], telemetry: Telemetry
     ) -> EngineResult:
+        specs = self.shard_specs()
         try:
-            results = self._run_process_pool(contexts)
-        except Exception:
-            # Process pools can be unavailable (restricted sandboxes,
-            # unpicklable registries); the decomposition is the same
-            # either way, only the executor changes.
+            supervisor = ShardSupervisor(
+                specs, self.router.route, self.config, telemetry
+            )
+        except (ImportError, OSError, PermissionError) as error:
+            # Only *unavailability* of the multiprocessing substrate is
+            # absorbed here (restricted sandboxes without fork or
+            # semaphores).  Worker failures are the supervisor's job:
+            # logged, counted, retried from checkpoints, and -- past
+            # the retry budget -- degraded or raised as
+            # EngineWorkerError, never surfaced as silently missing
+            # decisions.
+            _log.warning(
+                "process mode unavailable (%s: %s); running the same "
+                "decomposition in-process",
+                type(error).__name__,
+                error,
+            )
             return self._run_substreams(
                 contexts, executed_mode="process-fallback", telemetry=telemetry
             )
+        try:
+            results = supervisor.run(contexts)
+        finally:
+            supervisor.close()
         return self._collect_shard_results(
             results, executed_mode="process", telemetry=telemetry
         )
-
-    def _run_process_pool(
-        self, contexts: Iterable[Context]
-    ) -> List[ShardRunResult]:
-        import concurrent.futures
-        import multiprocessing
-
-        specs = self.shard_specs()
-        config = self.config
-        with multiprocessing.Manager() as manager:
-            queues = [
-                manager.Queue(maxsize=config.max_queue_batches) for _ in specs
-            ]
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=len(specs)
-            ) as executor:
-                futures = [
-                    executor.submit(run_shard_from_queue, spec, queue)
-                    for spec, queue in zip(specs, queues)
-                ]
-                batches: List[List[Context]] = [[] for _ in specs]
-                for ctx in contexts:
-                    shard = self.router.route(ctx)
-                    batches[shard].append(ctx)
-                    if len(batches[shard]) >= config.batch_size:
-                        self._put(queues[shard], batches[shard], futures[shard])
-                        batches[shard] = []
-                for shard, batch in enumerate(batches):
-                    if batch:
-                        self._put(queues[shard], batch, futures[shard])
-                for shard, queue in enumerate(queues):
-                    self._put(queue, None, futures[shard])
-                return [future.result() for future in futures]
-
-    @staticmethod
-    def _put(queue, item, future) -> None:
-        """Blocking put with backpressure that notices dead workers."""
-        while True:
-            try:
-                queue.put(item, timeout=1.0)
-                return
-            except queue_module.Full:
-                if future.done():
-                    future.result()  # surfaces the worker's exception
-                    raise RuntimeError(
-                        "shard worker exited while its queue was full"
-                    )
 
     def _collect_shard_results(
         self,

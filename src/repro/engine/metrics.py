@@ -39,6 +39,10 @@ class ShardStats:
     discarded: int = 0
     inconsistencies: int = 0
     detect_calls: int = 0
+    #: Fault-tolerance accounting (process mode; zero elsewhere).
+    restarts: int = 0
+    replayed: int = 0
+    degraded: bool = False
 
 
 @dataclass
@@ -51,6 +55,9 @@ class EngineMetrics:
     delivered_total: int = 0
     discarded_total: int = 0
     inconsistencies_total: int = 0
+    worker_restarts: int = 0
+    batches_replayed: int = 0
+    degraded_shards: int = 0
     elapsed_s: float = 0.0
     per_shard: List[ShardStats] = field(default_factory=list)
 
@@ -99,6 +106,15 @@ class EngineMetrics:
                             "engine_shard_detect_calls_total", labels
                         )
                     ),
+                    restarts=int(
+                        registry.value("engine_worker_restarts_total", labels)
+                    ),
+                    replayed=int(
+                        registry.value("engine_batches_replayed_total", labels)
+                    ),
+                    degraded=bool(
+                        registry.value("engine_degraded", labels)
+                    ),
                 )
             )
         return cls(
@@ -108,6 +124,9 @@ class EngineMetrics:
             delivered_total=sum(s.delivered for s in per_shard),
             discarded_total=sum(s.discarded for s in per_shard),
             inconsistencies_total=sum(s.inconsistencies for s in per_shard),
+            worker_restarts=sum(s.restarts for s in per_shard),
+            batches_replayed=sum(s.replayed for s in per_shard),
+            degraded_shards=sum(1 for s in per_shard if s.degraded),
             per_shard=per_shard,
         )
 
@@ -124,7 +143,7 @@ class EngineMetrics:
 
     def summary_text(self) -> str:
         """One-line human summary (rounded for reading, not storage)."""
-        return (
+        text = (
             f"{self.contexts_total} contexts on {self.shards} shard(s) "
             f"[{self.mode}] in {self.elapsed_s:.3f}s "
             f"({self.contexts_per_second:.1f} ctx/s): "
@@ -132,6 +151,13 @@ class EngineMetrics:
             f"{self.discarded_total} discarded, "
             f"{self.inconsistencies_total} inconsistencies"
         )
+        if self.worker_restarts or self.degraded_shards:
+            text += (
+                f"; {self.worker_restarts} worker restart(s), "
+                f"{self.batches_replayed} batch(es) replayed, "
+                f"{self.degraded_shards} shard(s) degraded"
+            )
+        return text
 
 
 def write_bench_json(

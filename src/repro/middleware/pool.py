@@ -4,11 +4,15 @@ Holds every context that has been received and neither discarded nor
 expired, in arrival order.  Availability to applications is a
 life-cycle question answered by the resolution strategy; the pool only
 answers liveness and lookup questions.
+
+Arrival order rides on dict insertion order (one structure, O(1)
+amortized add/remove/expire); discard is on the resolution hot path,
+so there is no side list to scan.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..core.context import Context
 
@@ -20,7 +24,6 @@ class ContextPool:
 
     def __init__(self) -> None:
         self._by_id: Dict[str, Context] = {}
-        self._order: List[str] = []
 
     # -- mutation ---------------------------------------------------------
 
@@ -29,14 +32,12 @@ class ContextPool:
         if ctx.ctx_id in self._by_id:
             raise ValueError(f"context {ctx.ctx_id!r} already in pool")
         self._by_id[ctx.ctx_id] = ctx
-        self._order.append(ctx.ctx_id)
 
     def remove(self, ctx: Context) -> bool:
         """Remove a context (discard); returns whether it was present."""
         if ctx.ctx_id not in self._by_id:
             return False
         del self._by_id[ctx.ctx_id]
-        self._order.remove(ctx.ctx_id)
         return True
 
     def expire(self, now: float) -> List[Context]:
@@ -48,19 +49,28 @@ class ContextPool:
 
     def clear(self) -> None:
         self._by_id.clear()
-        self._order.clear()
 
     # -- lookup -----------------------------------------------------------
 
     def __contains__(self, ctx: object) -> bool:
-        return isinstance(ctx, Context) and ctx.ctx_id in self._by_id
+        """Whether *this* context (or an equal one) is live.
+
+        Matching by id alone would claim membership for a stale
+        instance whose id a newer, different context reuses -- replayed
+        batches can re-present such instances -- so the stored context
+        must also be the same object or compare equal.
+        """
+        if not isinstance(ctx, Context):
+            return False
+        stored = self._by_id.get(ctx.ctx_id)
+        return stored is not None and (stored is ctx or stored == ctx)
 
     def __len__(self) -> int:
         return len(self._by_id)
 
     def __iter__(self) -> Iterator[Context]:
         """Contexts in arrival order."""
-        return (self._by_id[ctx_id] for ctx_id in list(self._order))
+        return iter(list(self._by_id.values()))
 
     def get(self, ctx_id: str) -> Optional[Context]:
         return self._by_id.get(ctx_id)

@@ -1,0 +1,101 @@
+"""Fault-injection harness for the process-mode supervisor tests.
+
+The engine's ``fault_injector`` hook is pickled into every shard
+worker, so the injectors here are module-level dataclasses (closures
+and lambdas would not survive the trip).  Each is called inside the
+worker as ``injector(shard_id, batch_index, attempt, phase)`` --
+``phase`` is ``"start"`` (before a batch) or ``"mid"`` (halfway
+through one, after state has already mutated) -- and misbehaves like a
+real worker would: ``crash`` dies without cleanup (``os._exit``, no
+ack, no exception), ``hang`` blocks past the batch timeout, ``raise``
+poisons the batch with an exception the worker reports.
+
+``until_attempt`` bounds the chaos: the default ``1`` makes a fault
+fire on the first attempt only (the respawn runs clean -- the retry
+path), while ``None`` keeps firing on every attempt (the
+retry-exhaustion / degradation path).  The injector is never invoked
+in the parent, so a degraded shard always runs clean.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ScheduledFault", "EveryShardOnce"]
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """Misbehave once a scheduled batch is reached in a worker.
+
+    Parameters
+    ----------
+    action:
+        ``"crash"`` (``os._exit(13)``), ``"hang"`` (sleep ``hang_s``)
+        or ``"raise"`` (``RuntimeError``).
+    at_batch:
+        Batch index that triggers the fault (later batches too --
+        a worker that got past the trigger point stays vulnerable
+        until ``until_attempt`` retires the fault).
+    phase:
+        ``"start"`` or ``"mid"`` -- whether to strike before the batch
+        or halfway through it (state already mutated, no ack sent).
+    shards:
+        Shard ids to strike; ``None`` strikes every shard.
+    until_attempt:
+        Fire only while ``attempt < until_attempt``; ``None`` fires on
+        every attempt (a *persistent* fault that exhausts the retry
+        budget).
+    hang_s:
+        Sleep length of the ``hang`` action; pick it well past the
+        configured ``batch_timeout_s``.
+    """
+
+    action: str
+    at_batch: int = 0
+    phase: str = "mid"
+    shards: Optional[Tuple[int, ...]] = None
+    until_attempt: Optional[int] = 1
+    hang_s: float = 120.0
+
+    def __call__(
+        self, shard_id: int, batch_index: int, attempt: int, phase: str
+    ) -> None:
+        if self.shards is not None and shard_id not in self.shards:
+            return
+        if phase != self.phase or batch_index < self.at_batch:
+            return
+        if self.until_attempt is not None and attempt >= self.until_attempt:
+            return
+        if self.action == "crash":
+            os._exit(13)
+        elif self.action == "hang":
+            time.sleep(self.hang_s)
+        elif self.action == "raise":
+            raise RuntimeError(
+                f"injected poison in shard {shard_id}, "
+                f"batch {batch_index}, attempt {attempt}"
+            )
+        else:  # pragma: no cover - harness misuse
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+@dataclass(frozen=True)
+class EveryShardOnce:
+    """Kill every shard's worker exactly once (the acceptance fault).
+
+    Each shard's first attempt crashes mid-way through ``at_batch``;
+    every respawn runs clean, so the run must complete with one
+    restart per shard and identical decisions.
+    """
+
+    at_batch: int = 1
+
+    def __call__(
+        self, shard_id: int, batch_index: int, attempt: int, phase: str
+    ) -> None:
+        if phase == "mid" and batch_index >= self.at_batch and attempt == 0:
+            os._exit(13)

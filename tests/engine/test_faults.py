@@ -1,0 +1,175 @@
+"""Fault-injection suite: determinism of process mode under failure.
+
+Every test runs the supervised process mode against a chaos schedule
+from :mod:`tests.engine.faults` and checks the paper-level invariant:
+worker crashes, hangs and poisoned batches change *nothing* about the
+resolution decisions -- the run completes with the exact signature of
+a fault-free run (and, as decision sets, of the inline single-pool
+schedule), with the recovery visible in telemetry instead of in the
+results.  Zero silently-dropped decisions, ever.
+
+The suite is marked ``faults`` so CI can run it under a hard
+``pytest-timeout`` budget (a hung supervisor fails fast); it still
+runs in the plain tier-1 invocation.
+"""
+
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    EngineWorkerError,
+    FaultConfig,
+    ShardedEngine,
+)
+from repro.engine.workload import scalability_workload
+from repro.obs import Telemetry
+
+from .faults import EveryShardOnce, ScheduledFault
+
+pytestmark = pytest.mark.faults
+
+N_CONTEXTS = 300
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    constraints, contexts = scalability_workload(
+        N_CONTEXTS, scope_groups=SHARDS, types_per_group=2
+    )
+    return constraints, contexts
+
+
+def fault_config(**overrides):
+    """Test-scale fault tunables: tight timeouts, fast backoff."""
+    defaults = dict(
+        max_retries=2,
+        batch_timeout_s=5.0,
+        backoff_base_s=0.01,
+        heartbeat_interval_s=0.1,
+        checkpoint_every=2,
+    )
+    defaults.update(overrides)
+    return FaultConfig(**defaults)
+
+
+def run_engine(workload, *, mode="process", injector=None, fault=None,
+               telemetry=None, shards=SHARDS):
+    constraints, contexts = workload
+    engine = ShardedEngine(
+        constraints,
+        strategy="drop-latest",
+        config=EngineConfig(
+            shards=shards,
+            mode=mode,
+            use_delay=5.0,  # time windows: the decomposable window kind
+            batch_size=16,
+            fault=fault or fault_config(),
+        ),
+        telemetry=telemetry,
+        fault_injector=injector,
+    )
+    return engine.run(list(contexts))
+
+
+def assert_no_dropped_decisions(result):
+    """Every routed context got a decision (the no-silent-drop bound)."""
+    signature = result.decision_signature()
+    decided = len(signature["delivered"]) + len(signature["discarded"])
+    assert decided == N_CONTEXTS
+
+
+class TestCrashRecovery:
+    def test_killing_every_worker_once_changes_no_decision(self, workload):
+        # The acceptance fault: each shard's worker dies mid-batch on
+        # its first attempt; respawns replay from the last checkpoint.
+        clean = run_engine(workload)
+        telemetry = Telemetry(enabled=True)
+        faulty = run_engine(
+            workload, injector=EveryShardOnce(at_batch=1), telemetry=telemetry
+        )
+        assert faulty.decision_signature() == clean.decision_signature()
+        assert faulty.metrics.mode == "process"
+        assert faulty.metrics.worker_restarts >= SHARDS
+        assert faulty.metrics.batches_replayed > 0
+        assert faulty.metrics.degraded_shards == 0
+        assert_no_dropped_decisions(faulty)
+        # The recovery is visible in the telemetry registry itself.
+        registry = telemetry.registry
+        restarts = sum(
+            registry.value("engine_worker_restarts_total", labels)
+            for labels in registry.series_labels("engine_worker_restarts_total")
+        )
+        assert restarts >= SHARDS
+
+    def test_crash_matches_inline_as_decision_sets(self, workload):
+        inline = run_engine(workload, mode="inline")
+        faulty = run_engine(workload, injector=EveryShardOnce(at_batch=1))
+        inline_sig = inline.decision_signature()
+        faulty_sig = faulty.decision_signature()
+        assert sorted(faulty_sig["delivered"]) == sorted(inline_sig["delivered"])
+        assert sorted(faulty_sig["discarded"]) == sorted(inline_sig["discarded"])
+
+    def test_single_shard_crash_matches_inline_pointwise(self, workload):
+        # With one shard the shard-local schedule IS the global
+        # schedule, so recovery must be pointwise inline-identical.
+        inline = run_engine(workload, mode="inline", shards=1)
+        faulty = run_engine(
+            workload, injector=EveryShardOnce(at_batch=1), shards=1
+        )
+        assert faulty.decision_signature() == inline.decision_signature()
+        assert faulty.metrics.worker_restarts >= 1
+
+
+class TestHangRecovery:
+    def test_hang_past_batch_timeout_is_retried(self, workload):
+        clean = run_engine(workload)
+        fault = fault_config(batch_timeout_s=0.6)
+        hung = run_engine(
+            workload,
+            injector=ScheduledFault("hang", at_batch=1, shards=(1,)),
+            fault=fault,
+        )
+        assert hung.decision_signature() == clean.decision_signature()
+        assert hung.metrics.worker_restarts >= 1
+        assert hung.metrics.per_shard[1].restarts >= 1
+        assert_no_dropped_decisions(hung)
+
+
+class TestRetryExhaustion:
+    def test_persistent_poison_degrades_with_identical_decisions(
+        self, workload
+    ):
+        clean = run_engine(workload)
+        fault = fault_config(max_retries=1)
+        poisoned = run_engine(
+            workload,
+            injector=ScheduledFault(
+                "raise", at_batch=1, shards=(2,), until_attempt=None
+            ),
+            fault=fault,
+        )
+        # The shard finished in-parent: same decisions, flagged run.
+        assert poisoned.decision_signature() == clean.decision_signature()
+        assert poisoned.metrics.degraded_shards == 1
+        assert poisoned.metrics.per_shard[2].degraded
+        assert poisoned.metrics.worker_restarts >= 1
+        assert_no_dropped_decisions(poisoned)
+
+    def test_poisoned_shard_raises_instead_of_short_result(self, workload):
+        # Regression for the silent `except Exception` fallback the
+        # facade used to have: a failing worker must surface as
+        # EngineWorkerError (with the worker traceback), never as a
+        # quietly shorter delivered list.
+        fault = fault_config(max_retries=1, degrade_on_exhaustion=False)
+        with pytest.raises(EngineWorkerError) as excinfo:
+            run_engine(
+                workload,
+                injector=ScheduledFault(
+                    "raise", at_batch=0, shards=(0,), until_attempt=None
+                ),
+                fault=fault,
+            )
+        assert excinfo.value.shard_id == 0
+        assert excinfo.value.attempts == 2
+        assert "injected poison" in excinfo.value.detail

@@ -28,12 +28,39 @@ class TestContextPool:
         assert not pool.remove(ctx)
         assert ctx not in pool
 
+    def test_contains_rejects_stale_instance_with_reused_id(self, mk):
+        # A different context reusing a live id (e.g. a stale instance
+        # re-presented by a replayed batch) is NOT in the pool -- only
+        # the stored object or an equal copy is.
+        pool = ContextPool()
+        current = mk(ctx_id="a", value=(1.0, 1.0))
+        pool.add(current)
+        stale = mk(ctx_id="a", value=(9.0, 9.0))
+        assert stale not in pool
+        equal_copy = mk(ctx_id="a", value=(1.0, 1.0))
+        assert equal_copy in pool
+        assert current in pool
+
     def test_iteration_in_arrival_order(self, mk):
         pool = ContextPool()
         contexts = [mk(ctx_id=f"c{i}") for i in range(5)]
         for ctx in contexts:
             pool.add(ctx)
         assert pool.contents() == contexts
+
+    def test_arrival_order_survives_interior_removes(self, mk):
+        pool = ContextPool()
+        contexts = [mk(ctx_id=f"c{i}") for i in range(6)]
+        for ctx in contexts:
+            pool.add(ctx)
+        pool.remove(contexts[1])
+        pool.remove(contexts[4])
+        assert pool.contents() == [
+            contexts[0], contexts[2], contexts[3], contexts[5]
+        ]
+        readded = mk(ctx_id="c1")
+        pool.add(readded)  # re-adding appends at the back, not in place
+        assert pool.contents()[-1] is readded
 
     def test_expire(self, mk):
         pool = ContextPool()
