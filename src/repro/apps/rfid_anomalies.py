@@ -166,11 +166,14 @@ class RFIDAnomaliesApp:
             ),
         ]
 
-    def build_checker(self, incremental: bool = True) -> ConstraintChecker:
+    def build_checker(
+        self, incremental: bool = True, kernels: bool = True
+    ) -> ConstraintChecker:
         return ConstraintChecker(
             self.build_constraints(),
             registry=self.build_registry(),
             incremental=incremental,
+            kernels=kernels,
         )
 
     # -- the three situations ------------------------------------------------------

@@ -146,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write a TELEMETRY_*.json sidecar for this run",
     )
+    engine_run.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="disable compiled constraint kernels and equality-join "
+        "candidate indexes (interpreted reference path)",
+    )
     engine_bench = engine_sub.add_parser(
         "bench", help="measure engine throughput per shard count"
     )
@@ -362,6 +368,7 @@ def _cmd_engine(args, out) -> int:
             use_delay=args.delay,
             batch_size=args.batch_size,
             fault=FaultConfig(**fault_overrides),
+            kernels=not args.no_kernels,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -18,9 +18,22 @@ from .ast import (
 )
 from .builtins import FunctionRegistry, standard_registry
 from .checker import ConstraintChecker
+from .compile import CompiledKernel, compile_kernel
 from .evaluator import EvalResult, Evaluator
 from .format import format_constraint, format_formula, format_term
-from .incremental import IncrementalEngine, PrefixAnalysis, analyze_prefix
+from .incremental import (
+    ConstraintPlan,
+    IncrementalEngine,
+    PrefixAnalysis,
+    analyze_prefix,
+)
+from .index import (
+    CandidateIndex,
+    EphemeralScopeIndex,
+    JoinAnalysis,
+    analyze_joins,
+    register_equality_predicate,
+)
 from .links import EMPTY_LINK, Link, cross_join
 from .parser import ParseError, parse_constraint, parse_formula
 
@@ -42,14 +55,22 @@ __all__ = [
     "FunctionRegistry",
     "standard_registry",
     "ConstraintChecker",
+    "CompiledKernel",
+    "compile_kernel",
     "EvalResult",
     "Evaluator",
     "format_constraint",
     "format_formula",
     "format_term",
+    "ConstraintPlan",
     "IncrementalEngine",
     "PrefixAnalysis",
     "analyze_prefix",
+    "CandidateIndex",
+    "EphemeralScopeIndex",
+    "JoinAnalysis",
+    "analyze_joins",
+    "register_equality_predicate",
     "EMPTY_LINK",
     "Link",
     "cross_join",

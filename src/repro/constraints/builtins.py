@@ -34,6 +34,11 @@ class FunctionRegistry:
         self._functions: Dict[str, PredicateFn] = {}
         #: Current simulation time, updated by the checker.
         self.now: float = 0.0
+        #: Bumped on every register/replace; compiled kernels pre-bind
+        #: resolved functions and use this to detect staleness.
+        #: (Mutating ``now`` does *not* bump it -- predicates read
+        #: ``now`` through the registry, never a captured copy.)
+        self.version: int = 0
 
     def register(self, name: str, fn: Optional[PredicateFn] = None):
         """Register ``fn`` under ``name``; usable as a decorator."""
@@ -42,6 +47,7 @@ class FunctionRegistry:
             if name in self._functions:
                 raise ValueError(f"predicate {name!r} already registered")
             self._functions[name] = f
+            self.version += 1
             return f
 
         if fn is None:
@@ -51,13 +57,16 @@ class FunctionRegistry:
     def replace(self, name: str, fn: PredicateFn) -> None:
         """Register or overwrite ``name`` (for test doubles)."""
         self._functions[name] = fn
+        self.version += 1
 
     def resolve(self, name: str) -> PredicateFn:
         try:
             return self._functions[name]
         except KeyError:
             known = ", ".join(sorted(self._functions))
-            raise KeyError(f"unknown predicate {name!r}; known: {known}")
+            raise KeyError(
+                f"unknown predicate {name!r}; known: {known}"
+            ) from None
 
     def __contains__(self, name: str) -> bool:
         return name in self._functions

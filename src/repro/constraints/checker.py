@@ -17,6 +17,7 @@ from .ast import Constraint
 from .builtins import FunctionRegistry, standard_registry
 from .evaluator import Evaluator
 from .incremental import IncrementalEngine
+from .index import CandidateIndex, EphemeralScopeIndex
 
 __all__ = ["ConstraintChecker"]
 
@@ -33,11 +34,21 @@ class ConstraintChecker(InconsistencyDetector):
         registry (applications typically extend it).
     incremental:
         Use the incremental fast path where applicable (default).
+    kernels:
+        Compile constraint bodies to specialized closures and prune
+        candidate enumeration through equality-join indexes (default).
+        Disable to force the interpreted reference path (the engine's
+        ``--no-kernels`` escape hatch).
 
     The checker is *incremental by contract*: :meth:`detect` returns
     only inconsistencies that involve the newly added context, which is
     exactly the delta a resolution strategy needs on a context addition
     change.
+
+    Hosts that own a :class:`~repro.middleware.pool.ContextPool` call
+    :meth:`attach_pool` once; the checker then maintains a persistent
+    :class:`~repro.constraints.index.CandidateIndex` through pool
+    listeners and stops rebuilding per-type extents on every detect.
     """
 
     def __init__(
@@ -45,12 +56,17 @@ class ConstraintChecker(InconsistencyDetector):
         constraints: Iterable[Constraint] = (),
         registry: Optional[FunctionRegistry] = None,
         incremental: bool = True,
+        kernels: bool = True,
     ) -> None:
         self.registry = registry if registry is not None else standard_registry()
         self._constraints: Dict[str, Constraint] = {}
         self._relevant_types: Set[str] = set()
-        self._engine = IncrementalEngine(self.registry, enabled=incremental)
-        self.evaluator = Evaluator(self.registry)
+        self._routing: Dict[str, List[Constraint]] = {}
+        self._engine = IncrementalEngine(
+            self.registry, enabled=incremental, kernels=kernels
+        )
+        self.evaluator = Evaluator(self.registry, use_kernels=kernels)
+        self._pool_index: Optional[CandidateIndex] = None
         #: Detection statistics, for the incremental-speed-up benchmark.
         self.detect_calls = 0
         #: Telemetry bundle (repro.obs); hosts swap in a live one.
@@ -80,24 +96,95 @@ class ConstraintChecker(InconsistencyDetector):
                 "checker_violations_total",
                 help="Inconsistencies the checker reported",
             )
+            self._enumerated_counter = telemetry.registry.counter(
+                "check_bindings_enumerated",
+                help="Candidate bindings evaluated on the fast path",
+            )
+            self._pruned_counter = telemetry.registry.counter(
+                "check_bindings_pruned",
+                help="Candidate bindings skipped by equality-join indexes",
+            )
+            self._kernel_counter = telemetry.registry.counter(
+                "check_kernel_hits",
+                help="Constraint evaluations served by compiled kernels",
+            )
+            self._fallback_counter = telemetry.registry.counter(
+                "check_interpreter_fallbacks",
+                help="Constraint evaluations served by the AST interpreter",
+            )
         else:
             self._detect_counter = None
             self._violations_counter = None
+            self._enumerated_counter = None
+            self._pruned_counter = None
+            self._kernel_counter = None
+            self._fallback_counter = None
 
     # -- constraint management -------------------------------------------
 
     def add_constraint(self, constraint: Constraint) -> None:
-        """Register a constraint; names must be unique."""
+        """Register a constraint; names must be unique.
+
+        Registration also (re)builds the type -> constraints routing
+        table, compiles the constraint's execution plan (kernel + join
+        analysis), and -- when a pool is attached -- makes sure the
+        persistent index covers the plan's join fields.
+        """
         if constraint.name in self._constraints:
             raise ValueError(f"constraint {constraint.name!r} already added")
         self._constraints[constraint.name] = constraint
         self._relevant_types |= constraint.relevant_types()
+        self._rebuild_routing()
+        plan = self._engine.plan_for(constraint)
+        if self._pool_index is not None:
+            for field in plan.join_fields():
+                self._pool_index.ensure_field(field)
+
+    def _rebuild_routing(self) -> None:
+        # detect() historically scanned sorted(self._constraints) and
+        # skipped irrelevant types; the routing table is that same scan
+        # precomputed per type (a unit test pins the equivalence).
+        routing: Dict[str, List[Constraint]] = {}
+        for name in sorted(self._constraints):
+            constraint = self._constraints[name]
+            for ctx_type in constraint.relevant_types():
+                routing.setdefault(ctx_type, []).append(constraint)
+        self._routing = routing
+
+    def constraints_for_type(self, ctx_type: str) -> List[Constraint]:
+        """Constraints quantifying over ``ctx_type``, in name order."""
+        return list(self._routing.get(ctx_type, ()))
 
     def constraints(self) -> List[Constraint]:
         return [self._constraints[name] for name in sorted(self._constraints)]
 
     def constraint(self, name: str) -> Constraint:
         return self._constraints[name]
+
+    # -- pool attachment ---------------------------------------------------
+
+    def attach_pool(self, pool) -> None:
+        """Maintain a persistent candidate index over ``pool``.
+
+        Seeds the index from the pool's current contents and registers
+        it as a pool listener, so additions, discards and expiry keep
+        it consistent.  ``detect`` uses the persistent index whenever
+        the checking scope it is handed equals the pool contents (the
+        common case); strategies that exclude contexts from checking
+        fall back to a per-call scope index transparently.
+        """
+        fields: Set[str] = set()
+        for constraint in self._constraints.values():
+            fields.update(self._engine.plan_for(constraint).join_fields())
+        index = CandidateIndex(fields=sorted(fields))
+        index.rebuild(pool)
+        pool.add_listener(index)
+        self._pool_index = index
+
+    @property
+    def pool_index(self) -> Optional[CandidateIndex]:
+        """The attached persistent index, if any (diagnostics/tests)."""
+        return self._pool_index
 
     # -- InconsistencyDetector interface -------------------------------------
 
@@ -116,22 +203,43 @@ class ConstraintChecker(InconsistencyDetector):
         """
         self.detect_calls += 1
         self.registry.now = now
-        extended = list(existing) + [ctx]
-        by_type: Dict[str, List[Context]] = {}
-        for context in extended:
-            by_type.setdefault(context.ctx_type, []).append(context)
+        constraints = self._routing.get(ctx.ctx_type, ())
+        # The persistent index is usable iff the scope we were handed
+        # is exactly the pool: the scope is always an order-preserving
+        # filter of the pool contents, so equal sizes imply equal
+        # lists.  Strategies that exclude contexts from checking get a
+        # per-call scope index instead (built once, shared across
+        # constraints -- never per constraint).
+        index = self._pool_index
+        if index is not None and index.size == len(existing):
+            view = index
+        else:
+            view = EphemeralScopeIndex(existing)
+
+        dom_cache: Dict[str, List[Context]] = {}
 
         def domain(ctx_type: str) -> Sequence[Context]:
-            return by_type.get(ctx_type, ())
+            # The *extended* scope (existing plus ctx), memoized per
+            # type for the duration of this detect call.
+            extent = dom_cache.get(ctx_type)
+            if extent is None:
+                extent = list(view.extent(ctx_type))
+                if ctx_type == ctx.ctx_type:
+                    extent.append(ctx)
+                dom_cache[ctx_type] = extent
+            return extent
+
+        engine = self._engine
+        enumerated = engine.bindings_enumerated
+        pruned = engine.bindings_pruned
+        kernel_hits = engine.kernel_hits
+        fallbacks = engine.interpreter_fallbacks
 
         inconsistencies: List[Inconsistency] = []
         with self._check_span:
-            for name in sorted(self._constraints):
-                constraint = self._constraints[name]
-                if ctx.ctx_type not in constraint.relevant_types():
-                    continue
-                for contexts in self._engine.new_violations(
-                    constraint, ctx, existing, domain
+            for constraint in constraints:
+                for contexts in engine.new_violations(
+                    constraint, ctx, existing, domain, view=view
                 ):
                     inconsistencies.append(
                         Inconsistency(
@@ -144,6 +252,18 @@ class ConstraintChecker(InconsistencyDetector):
             self._detect_counter.inc()
             if inconsistencies:
                 self._violations_counter.inc(len(inconsistencies))
+            delta = engine.bindings_enumerated - enumerated
+            if delta:
+                self._enumerated_counter.inc(delta)
+            delta = engine.bindings_pruned - pruned
+            if delta:
+                self._pruned_counter.inc(delta)
+            delta = engine.kernel_hits - kernel_hits
+            if delta:
+                self._kernel_counter.inc(delta)
+            delta = engine.interpreter_fallbacks - fallbacks
+            if delta:
+                self._fallback_counter.inc(delta)
         return inconsistencies
 
     def forget(self, ctx: Context) -> None:
@@ -151,27 +271,47 @@ class ConstraintChecker(InconsistencyDetector):
 
         Present to satisfy the detector protocol: the incremental
         engine evaluates only fresh bindings, so discarded contexts
-        simply never appear in future scopes.
+        simply never appear in future scopes.  (The persistent
+        candidate index is maintained through *pool* listeners, not
+        through this hook: a forgotten context leaves the index when
+        the owning pool actually removes it.)
         """
 
     # -- diagnostics --------------------------------------------------------
 
     def check_all(
-        self, contexts: Sequence[Context], now: float = 0.0
+        self, contexts: Optional[Sequence[Context]] = None, now: float = 0.0
     ) -> List[Inconsistency]:
         """Full (non-incremental) check of a whole pool, for tests and
         for the scenario walkthroughs: every current violation of every
-        constraint, not only those involving a particular context."""
-        self.registry.now = now
-        by_type: Dict[str, List[Context]] = {}
-        for context in contexts:
-            by_type.setdefault(context.ctx_type, []).append(context)
+        constraint, not only those involving a particular context.
 
-        def domain(ctx_type: str) -> Sequence[Context]:
-            return by_type.get(ctx_type, ())
+        With ``contexts=None`` the attached pool's persistent index
+        supplies the extents directly -- no per-call ``by_type``
+        rebuild."""
+        self.registry.now = now
+        if contexts is None:
+            if self._pool_index is None:
+                raise ValueError(
+                    "check_all() without contexts requires an attached pool"
+                )
+            view = self._pool_index
+            pool_size = view.size
+
+            def domain(ctx_type: str) -> Sequence[Context]:
+                return view.extent(ctx_type)
+
+        else:
+            pool_size = len(contexts)
+            by_type: Dict[str, List[Context]] = {}
+            for context in contexts:
+                by_type.setdefault(context.ctx_type, []).append(context)
+
+            def domain(ctx_type: str) -> Sequence[Context]:
+                return by_type.get(ctx_type, ())
 
         out: List[Inconsistency] = []
-        with self.telemetry.span("check.full", pool=len(contexts)):
+        with self.telemetry.span("check.full", pool=pool_size):
             for name in sorted(self._constraints):
                 constraint = self._constraints[name]
                 for contexts_set in self.evaluator.violations(constraint, domain):

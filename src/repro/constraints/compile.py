@@ -1,0 +1,185 @@
+"""Constraint kernel compilation: formulas lowered to Python closures.
+
+The interpreted evaluator (:mod:`repro.constraints.evaluator`) walks
+the formula AST for **every candidate binding**: an isinstance ladder
+per node, a registry lookup per predicate, an argument list per
+application.  On the detection hot path that dispatch dominates the
+actual predicate work, so this module lowers a formula once -- at
+``add_constraint`` time -- into a single specialized Python function:
+
+* predicate functions are resolved against the registry **once** and
+  bound into the kernel's closure namespace;
+* variable references become positional parameters, literals become
+  pre-bound constants -- no per-binding environment dict;
+* ``and`` / ``or`` / ``implies`` / ``not`` flatten into native Python
+  boolean expressions with identical left-to-right short-circuiting;
+* quantifiers in the body become ``any(...)`` / ``all(...)``
+  generator expressions over the domain callable.
+
+A compiled kernel has the signature ``fn(v_0, ..., v_k, domain)``
+where ``v_i`` are the contexts bound to the formula's free variables
+(in the order given to :func:`compile_kernel`) and ``domain`` maps a
+context type to its extent.  Its truth value -- including which
+predicates run, in which order, and which exceptions escape -- is
+identical to ``Evaluator.truth`` on the same binding; the equivalence
+suite in ``tests/constraints/test_kernel_equivalence.py`` machine-
+checks this on random formulas and streams.
+
+Out-of-fragment formulas return ``None`` from :func:`compile_kernel`
+and keep using the interpreter:
+
+* a predicate name not (yet) registered -- resolution stays lazy so
+  late registration and the interpreter's error behaviour survive;
+* a quantifier that shadows an in-scope variable name -- the
+  interpreter's mutable-environment semantics differ from lexical
+  scoping there, and such formulas never occur in practice.
+
+Kernels cache per (formula, registry version): re-registering or
+replacing a predicate bumps :attr:`FunctionRegistry.version`, which
+invalidates every kernel that may have pre-bound the old function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .ast import (
+    And,
+    Existential,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    Universal,
+    Var,
+)
+from .builtins import FunctionRegistry
+
+__all__ = ["CompiledKernel", "compile_kernel"]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One formula lowered to a specialized Python function.
+
+    Attributes
+    ----------
+    fn:
+        ``fn(v_0, ..., v_k, domain) -> bool`` with one positional
+        parameter per entry of ``var_names`` plus the domain callable.
+    var_names:
+        The free-variable order the positional parameters follow.
+    source:
+        The generated function source, for diagnostics and tests.
+    registry_version:
+        :attr:`FunctionRegistry.version` at compile time; a bumped
+        version means pre-bound predicate functions may be stale.
+    """
+
+    fn: Callable[..., bool]
+    var_names: Tuple[str, ...]
+    source: str
+    registry_version: int
+
+
+class _OutOfFragment(Exception):
+    """The formula cannot be compiled; callers fall back to the
+    interpreter (never propagated out of :func:`compile_kernel`)."""
+
+
+class _Codegen:
+    """Single-pass expression emitter with a pre-bound namespace."""
+
+    def __init__(self, registry: FunctionRegistry) -> None:
+        self._registry = registry
+        self.namespace: Dict[str, object] = {}
+        self._fresh = 0
+
+    def bind(self, prefix: str, value: object) -> str:
+        name = f"_{prefix}{self._fresh}"
+        self._fresh += 1
+        self.namespace[name] = value
+        return name
+
+    def emit(self, formula: Formula, scope: Dict[str, str]) -> str:
+        if isinstance(formula, Predicate):
+            if formula.func not in self._registry:
+                raise _OutOfFragment(f"unregistered predicate {formula.func!r}")
+            fn = self.bind("f", self._registry.resolve(formula.func))
+            args: List[str] = []
+            for term in formula.args:
+                if isinstance(term, Var):
+                    try:
+                        args.append(scope[term.name])
+                    except KeyError:
+                        raise _OutOfFragment(
+                            f"unbound variable {term.name!r}"
+                        ) from None
+                else:
+                    args.append(self.bind("c", term.value))
+            return f"{fn}({', '.join(args)})"
+        if isinstance(formula, Not):
+            return f"(not {self.emit(formula.operand, scope)})"
+        if isinstance(formula, And):
+            left = self.emit(formula.left, scope)
+            right = self.emit(formula.right, scope)
+            return f"({left} and {right})"
+        if isinstance(formula, Or):
+            left = self.emit(formula.left, scope)
+            right = self.emit(formula.right, scope)
+            return f"({left} or {right})"
+        if isinstance(formula, Implies):
+            left = self.emit(formula.left, scope)
+            right = self.emit(formula.right, scope)
+            return f"((not {left}) or {right})"
+        if isinstance(formula, (Universal, Existential)):
+            if formula.var in scope:
+                # The interpreter's env-dict semantics and lexical
+                # scoping disagree on shadowed names; stay interpreted.
+                raise _OutOfFragment(f"shadowed variable {formula.var!r}")
+            ctx_type = self.bind("t", formula.ctx_type)
+            symbol = self.bind("q", None)
+            del self.namespace[symbol]  # loop variable, not a constant
+            scope[formula.var] = symbol
+            try:
+                body = self.emit(formula.body, scope)
+            finally:
+                del scope[formula.var]
+            reducer = "all" if isinstance(formula, Universal) else "any"
+            return f"{reducer}({body} for {symbol} in _dom({ctx_type}))"
+        raise _OutOfFragment(f"unsupported node {type(formula).__name__}")
+
+
+def compile_kernel(
+    formula: Formula,
+    var_names: Sequence[str],
+    registry: FunctionRegistry,
+) -> Optional[CompiledKernel]:
+    """Lower ``formula`` into a kernel over ``var_names``, or ``None``.
+
+    ``var_names`` fixes the positional parameter order for the
+    formula's free variables (closed formulas pass ``()``).  Returns
+    ``None`` for out-of-fragment formulas, which must keep using the
+    interpreted evaluator.
+    """
+    version = registry.version
+    gen = _Codegen(registry)
+    params = [gen.bind("q", None) for _ in var_names]
+    for symbol in params:
+        del gen.namespace[symbol]  # parameters, not constants
+    scope = dict(zip(var_names, params, strict=True))
+    try:
+        expr = gen.emit(formula, scope)
+    except _OutOfFragment:
+        return None
+    signature = "".join(f"{p}, " for p in params) + "_dom"
+    source = f"def _kernel({signature}):\n    return bool({expr})\n"
+    exec(compile(source, "<constraint-kernel>", "exec"), gen.namespace)
+    return CompiledKernel(
+        fn=gen.namespace["_kernel"],
+        var_names=tuple(var_names),
+        source=source,
+        registry_version=version,
+    )

@@ -31,7 +31,16 @@ inconsistencies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Mapping, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.context import Context
 from .ast import (
@@ -48,6 +57,7 @@ from .ast import (
     Var,
 )
 from .builtins import FunctionRegistry
+from .compile import CompiledKernel, compile_kernel
 from .links import EMPTY_LINK, Link, LinkSet, cross_join
 
 __all__ = ["EvalResult", "Evaluator", "Domain"]
@@ -84,29 +94,84 @@ class Evaluator:
         join; prevents pathological formulas from exploding.  The cap
         is generous (default 4096) and never binds in the paper's
         workloads.
+    use_kernels:
+        When true (the default), :meth:`truth` dispatches to compiled
+        kernels (:mod:`repro.constraints.compile`) for in-fragment
+        formulas; out-of-fragment formulas -- and all link generation
+        -- use the interpreter below regardless.
     """
 
-    def __init__(self, registry: FunctionRegistry, max_links: int = 4096) -> None:
+    def __init__(
+        self,
+        registry: FunctionRegistry,
+        max_links: int = 4096,
+        use_kernels: bool = True,
+    ) -> None:
         self._registry = registry
         self._max_links = max_links
+        self._use_kernels = use_kernels
+        self._kernel_cache: Dict[Formula, Optional[CompiledKernel]] = {}
+        self._kernel_version = -1
 
     # -- public API -----------------------------------------------------------
 
     def evaluate(
-        self, formula: Formula, domain: Domain, env: Mapping[str, Context] = {}
+        self,
+        formula: Formula,
+        domain: Domain,
+        env: Optional[Mapping[str, Context]] = None,
     ) -> EvalResult:
         """Evaluate ``formula`` with variables bound per ``env``."""
-        return self._eval(formula, domain, dict(env))
+        return self._eval(formula, domain, dict(env) if env else {})
 
     def truth(
-        self, formula: Formula, domain: Domain, env: Mapping[str, Context] = {}
+        self,
+        formula: Formula,
+        domain: Domain,
+        env: Optional[Mapping[str, Context]] = None,
     ) -> bool:
         """Truth value only, skipping all link generation.
 
         Much cheaper than :meth:`evaluate`; detection hot paths check
         truth first and generate links only for actual violations.
         """
-        return self._truth(formula, domain, dict(env))
+        if self._use_kernels:
+            kernel = self.kernel_for(formula)
+            if kernel is not None:
+                bound = env or {}
+                return kernel.fn(
+                    *[bound[name] for name in kernel.var_names], domain
+                )
+        return self._truth(formula, domain, dict(env) if env else {})
+
+    def kernel_for(self, formula: Formula) -> Optional[CompiledKernel]:
+        """The cached compiled kernel for ``formula``, if compilable.
+
+        Kernel parameters follow ``sorted(formula.free_variables())``.
+        Returns ``None`` for out-of-fragment formulas, for unhashable
+        ones (a :class:`Literal` holding e.g. a list defeats the
+        cache), and always when kernels are disabled.  The cache is
+        flushed whenever the registry version moves, so replaced
+        predicates -- and late registrations that bring a formula into
+        the fragment -- take effect.
+        """
+        if not self._use_kernels or not isinstance(formula, Formula):
+            # Non-Formula garbage falls through to the interpreter,
+            # which raises the canonical "cannot evaluate" TypeError.
+            return None
+        if self._kernel_version != self._registry.version:
+            self._kernel_cache.clear()
+            self._kernel_version = self._registry.version
+        try:
+            return self._kernel_cache[formula]
+        except KeyError:
+            pass
+        except TypeError:
+            return None
+        names = tuple(sorted(formula.free_variables()))
+        kernel = compile_kernel(formula, names, self._registry)
+        self._kernel_cache[formula] = kernel
+        return kernel
 
     def _truth(
         self, formula: Formula, domain: Domain, env: Dict[str, Context]
@@ -213,7 +278,7 @@ class Evaluator:
                     raise NameError(
                         f"unbound variable {term.name!r} in predicate "
                         f"{formula.func!r}"
-                    )
+                    ) from None
                 args.append(ctx)
                 bindings.append((term.name, ctx))
             else:

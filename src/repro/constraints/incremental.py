@@ -31,9 +31,21 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from ..core.context import Context
 from .ast import Constraint, Existential, Formula, Universal
 from .builtins import FunctionRegistry
+from .compile import CompiledKernel, compile_kernel
 from .evaluator import Domain, Evaluator
+from .index import (
+    FIELD_GETTERS,
+    EphemeralScopeIndex,
+    JoinAnalysis,
+    analyze_joins,
+)
 
-__all__ = ["PrefixAnalysis", "analyze_prefix", "IncrementalEngine"]
+__all__ = [
+    "PrefixAnalysis",
+    "analyze_prefix",
+    "ConstraintPlan",
+    "IncrementalEngine",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +105,31 @@ def analyze_prefix(constraint: Constraint) -> PrefixAnalysis:
     return PrefixAnalysis(None, None)
 
 
+@dataclass(frozen=True)
+class ConstraintPlan:
+    """Everything precomputed about one constraint at add time.
+
+    ``kernel`` is the compiled body kernel (parameters in prefix-
+    variable order) or ``None`` for out-of-fragment bodies or when
+    kernels are disabled.  ``restrict[p][q]`` lists the fields that
+    position ``q`` must share with a context pinned at position ``p``
+    (empty tuple when unconstrained -- including ``q == p``).
+    """
+
+    analysis: PrefixAnalysis
+    var_names: Tuple[str, ...]
+    kernel: Optional[CompiledKernel]
+    joins: JoinAnalysis
+    restrict: Tuple[Tuple[Tuple[str, ...], ...], ...]
+
+    def join_fields(self) -> Tuple[str, ...]:
+        """Distinct fields any of this plan's joins prune on."""
+        return tuple(sorted({field for field, _ in self.joins.groups}))
+
+
+_NO_JOINS = JoinAnalysis(())
+
+
 class IncrementalEngine:
     """Computes the violations a newly added context introduces.
 
@@ -104,19 +141,75 @@ class IncrementalEngine:
         When ``False`` every constraint uses the full-evaluation path;
         used by the equivalence tests and by benchmarks measuring the
         incremental speed-up.
+    kernels:
+        When ``True`` (default), prefix-universal bodies run through
+        compiled kernels (:mod:`.compile`) and candidate enumeration
+        is pruned by equality-join indexes (:mod:`.index`).  When
+        ``False`` the engine is the pure interpreted reference path.
+
+    The engine keeps four cumulative statistics that the checker turns
+    into telemetry counters: ``bindings_enumerated`` /
+    ``bindings_pruned`` count candidate bindings actually evaluated
+    vs. skipped by join pruning (computed arithmetically, not per
+    binding), and ``kernel_hits`` / ``interpreter_fallbacks`` count
+    per-constraint evaluations that used a compiled kernel vs. the
+    interpreter (out-of-fragment bodies and non-prefix-universal
+    constraints).
     """
 
-    def __init__(self, registry: FunctionRegistry, enabled: bool = True) -> None:
-        self._evaluator = Evaluator(registry)
+    def __init__(
+        self,
+        registry: FunctionRegistry,
+        enabled: bool = True,
+        kernels: bool = True,
+    ) -> None:
+        self._registry = registry
+        self._evaluator = Evaluator(registry, use_kernels=kernels)
         self._enabled = enabled
-        self._analyses: Dict[str, PrefixAnalysis] = {}
+        self._kernels = kernels
+        self._plans: Dict[str, ConstraintPlan] = {}
+        self._plans_version = registry.version
+        self.bindings_enumerated = 0
+        self.bindings_pruned = 0
+        self.kernel_hits = 0
+        self.interpreter_fallbacks = 0
 
-    def _analysis_for(self, constraint: Constraint) -> PrefixAnalysis:
-        analysis = self._analyses.get(constraint.name)
-        if analysis is None:
-            analysis = analyze_prefix(constraint)
-            self._analyses[constraint.name] = analysis
-        return analysis
+    def plan_for(self, constraint: Constraint) -> ConstraintPlan:
+        """The (cached) execution plan for ``constraint``.
+
+        Plans pre-bind resolved predicate functions, so the cache is
+        flushed whenever the registry version moves.
+        """
+        if self._plans_version != self._registry.version:
+            self._plans.clear()
+            self._plans_version = self._registry.version
+        plan = self._plans.get(constraint.name)
+        if plan is None:
+            plan = self._build_plan(constraint)
+            self._plans[constraint.name] = plan
+        return plan
+
+    def _build_plan(self, constraint: Constraint) -> ConstraintPlan:
+        analysis = analyze_prefix(constraint)
+        if not analysis.is_prefix_universal:
+            return ConstraintPlan(analysis, (), None, _NO_JOINS, ())
+        assert analysis.vars_types is not None and analysis.body is not None
+        var_names = tuple(var for var, _ in analysis.vars_types)
+        kernel = None
+        joins = _NO_JOINS
+        restrict: Tuple[Tuple[Tuple[str, ...], ...], ...] = ()
+        if self._kernels:
+            kernel = compile_kernel(analysis.body, var_names, self._registry)
+            joins = analyze_joins(analysis.vars_types, analysis.body)
+            size = len(var_names)
+            restrict = tuple(
+                tuple(
+                    joins.fields_joining(p, q) if q != p else ()
+                    for q in range(size)
+                )
+                for p in range(size)
+            )
+        return ConstraintPlan(analysis, var_names, kernel, joins, restrict)
 
     # -- detection -------------------------------------------------------
 
@@ -126,16 +219,25 @@ class IncrementalEngine:
         ctx: Context,
         scope: Sequence[Context],
         domain: Domain,
+        view=None,
     ) -> List[FrozenSet[Context]]:
         """Violations of ``constraint`` that involve ``ctx``.
 
         ``scope`` is the pre-existing checking scope (``ctx`` NOT
         included); ``domain`` must present the extended scope
-        (``scope`` plus ``ctx``) to the full evaluator.
+        (``scope`` plus ``ctx``) to the full evaluator.  ``view`` is an
+        optional candidate index over exactly ``scope`` (a
+        :class:`~repro.constraints.index.CandidateIndex` or
+        :class:`~repro.constraints.index.EphemeralScopeIndex`); the
+        checker builds one per detect call and shares it across
+        constraints so per-constraint ``by_type`` rebuilds disappear.
         """
-        analysis = self._analysis_for(constraint)
-        if self._enabled and analysis.is_prefix_universal:
-            return self._fast_path(analysis, ctx, scope, domain)
+        plan = self.plan_for(constraint)
+        if self._enabled and plan.analysis.is_prefix_universal:
+            if view is None:
+                view = EphemeralScopeIndex(scope)
+            return self._fast_path(plan, ctx, view, domain)
+        self.interpreter_fallbacks += 1
         return [
             contexts
             for contexts in self._evaluator.violations(constraint, domain)
@@ -144,70 +246,104 @@ class IncrementalEngine:
 
     def _fast_path(
         self,
-        analysis: PrefixAnalysis,
+        plan: ConstraintPlan,
         ctx: Context,
-        scope: Sequence[Context],
+        view,
         domain: Domain,
     ) -> List[FrozenSet[Context]]:
+        analysis = plan.analysis
         assert analysis.vars_types is not None and analysis.body is not None
-        by_type: Dict[str, List[Context]] = {}
-        for existing in scope:
-            by_type.setdefault(existing.ctx_type, []).append(existing)
-
-        extents: List[List[Context]] = []
-        ctx_positions: List[int] = []
-        for index, (_, ctx_type) in enumerate(analysis.vars_types):
-            extent = list(by_type.get(ctx_type, []))
-            if ctx.ctx_type == ctx_type:
-                extent.append(ctx)
-                ctx_positions.append(index)
-            extents.append(extent)
+        vars_types = analysis.vars_types
+        ctx_positions = [
+            index
+            for index, (_, ctx_type) in enumerate(vars_types)
+            if ctx_type == ctx.ctx_type
+        ]
         if not ctx_positions:
             # ctx's type is not quantified by this constraint.
             return []
 
+        # For each position p that can hold ctx, pin ctx there,
+        # restrict earlier pinnable positions to exclude ctx (avoiding
+        # duplicate enumeration), and cross the remaining candidate
+        # pools.  The view covers scope only (ctx is added below), and
+        # join-restricted pools are order-preserving subsequences of
+        # the full extents, so surviving bindings -- hence violations
+        # -- come out in exactly the unpruned enumeration order.
+        body = analysis.body
+        kernel = plan.kernel
+        var_names = plan.var_names
         seen: Set[FrozenSet[Context]] = set()
         violations: List[FrozenSet[Context]] = []
-        var_names = [var for var, _ in analysis.vars_types]
-        for binding in self._bindings_with_ctx(extents, ctx_positions, ctx):
-            env = dict(zip(var_names, binding))
-            # ``domain`` serves any existentials inside the body; it is
-            # unused for quantifier-free bodies.  Truth is checked
-            # first (cheap); links are generated only for violations.
-            if self._evaluator.truth(analysis.body, domain, env):
-                continue
-            result = self._evaluator.evaluate(analysis.body, domain, env)
-            for link in result.vio_links:
-                contexts = link.contexts()
-                if ctx in contexts and contexts not in seen:
-                    seen.add(contexts)
-                    violations.append(contexts)
-        return violations
-
-    @staticmethod
-    def _bindings_with_ctx(
-        extents: Sequence[Sequence[Context]],
-        ctx_positions: Sequence[int],
-        ctx: Context,
-    ) -> "itertools.chain":
-        """Enumerate prefix bindings in which ``ctx`` occurs at least once.
-
-        We take each position ``p`` that can hold ``ctx``, pin ``ctx``
-        there, restrict earlier pinnable positions to exclude ``ctx``
-        (avoiding duplicate enumeration), and take the cross product of
-        the remaining extents.
-        """
-        products = []
+        enumerated = 0
+        full = 0
         earlier: Set[int] = set()
         for position in ctx_positions:
             pools: List[Sequence[Context]] = []
-            for index, extent in enumerate(extents):
+            pool_product = 1
+            full_product = 1
+            restrict_row = plan.restrict[position] if plan.restrict else None
+            for index, (_, ctx_type) in enumerate(vars_types):
                 if index == position:
                     pools.append((ctx,))
-                elif index in earlier:
-                    pools.append([c for c in extent if c is not ctx])
+                    continue
+                fields = restrict_row[index] if restrict_row else ()
+                if fields:
+                    pool: Sequence[Context] = view.candidates(
+                        ctx_type,
+                        [(f, FIELD_GETTERS[f](ctx)) for f in fields],
+                    )
                 else:
-                    pools.append(extent)
-            products.append(itertools.product(*pools))
+                    pool = view.extent(ctx_type)
+                extent_size = view.extent_size(ctx_type)
+                if ctx_type == ctx.ctx_type and index not in earlier:
+                    # A later pinnable position: ctx itself is a
+                    # candidate there too (it trivially satisfies any
+                    # join with itself), appended in arrival order.
+                    pool = list(pool)
+                    pool.append(ctx)
+                    extent_size += 1
+                pools.append(pool)
+                pool_product *= len(pool)
+                full_product *= extent_size
             earlier.add(position)
-        return itertools.chain(*products)
+            enumerated += pool_product
+            full += full_product
+            if not pool_product:
+                continue
+
+            if kernel is not None:
+                fn = kernel.fn
+                for binding in itertools.product(*pools):
+                    # Truth first (cheap); links only for violations.
+                    if fn(*binding, domain):
+                        continue
+                    result = self._evaluator.evaluate(
+                        body, domain, dict(zip(var_names, binding, strict=True))
+                    )
+                    for link in result.vio_links:
+                        contexts = link.contexts()
+                        if ctx in contexts and contexts not in seen:
+                            seen.add(contexts)
+                            violations.append(contexts)
+            else:
+                for binding in itertools.product(*pools):
+                    env = dict(zip(var_names, binding, strict=True))
+                    # ``domain`` serves any existentials inside the
+                    # body; it is unused for quantifier-free bodies.
+                    if self._evaluator.truth(body, domain, env):
+                        continue
+                    result = self._evaluator.evaluate(body, domain, env)
+                    for link in result.vio_links:
+                        contexts = link.contexts()
+                        if ctx in contexts and contexts not in seen:
+                            seen.add(contexts)
+                            violations.append(contexts)
+
+        self.bindings_enumerated += enumerated
+        self.bindings_pruned += full - enumerated
+        if kernel is not None:
+            self.kernel_hits += 1
+        else:
+            self.interpreter_fallbacks += 1
+        return violations

@@ -1,0 +1,363 @@
+"""Equality-join analysis and candidate indexes for detection.
+
+Every constraint in the paper (and in the call-forwarding study) has
+the shape ``forall a, b : same_subject(a, b) and ... implies ...``:
+the body is *guarded* by equality predicates over context fields, so
+bindings whose contexts disagree on those fields satisfy the body
+vacuously and can never produce a violation.  The incremental fast
+path therefore does not need the full cross product of per-type
+extents -- it only needs the candidates that share the new context's
+field values.
+
+This module provides the two halves of that optimisation:
+
+* :func:`analyze_joins` statically extracts, from a prefix-universal
+  body, the sets of quantified positions that any violating binding
+  must agree on (per context field).  The extraction is *sound*: an
+  equality predicate ``E`` prunes only when the body is a tautology
+  under ``not E`` (see :func:`_guards`), so pruned bindings are
+  exactly bindings that cannot violate.
+* :class:`CandidateIndex` maintains persistent per-``(type, field)``
+  hash buckets over a live context pool, updated through pool
+  add/remove/expire listeners, and :class:`EphemeralScopeIndex`
+  provides the same interface over a one-off scope list (used when the
+  checking scope is a strict subset of the pool, e.g. under strategies
+  that exclude used contexts from checking).
+
+Both index classes preserve **arrival order** inside every extent and
+bucket, which keeps candidate enumeration -- and therefore violation
+order and resolution decisions -- byte-identical to the unindexed
+scan.
+
+Pruning keys on the *names* in :data:`EQUALITY_PREDICATES`; replacing
+one of those names in a :class:`FunctionRegistry` with a function that
+is not field equality (a test double, say) and expecting join pruning
+to follow it is unsupported -- disable kernels instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from ..core.context import Context
+from .ast import Formula, Implies, Not, Or, And, Predicate, Var
+
+__all__ = [
+    "EQUALITY_PREDICATES",
+    "FIELD_GETTERS",
+    "register_equality_predicate",
+    "JoinAnalysis",
+    "analyze_joins",
+    "CandidateIndex",
+    "EphemeralScopeIndex",
+]
+
+#: Context field name -> extractor.  Values must be hashable.
+FIELD_GETTERS: Dict[str, Callable[[Context], object]] = {
+    "subject": lambda ctx: ctx.subject,
+    "ctx_type": lambda ctx: ctx.ctx_type,
+}
+
+#: Predicate name -> the context field it equates (both arguments).
+EQUALITY_PREDICATES: Dict[str, str] = {
+    "same_subject": "subject",
+    "same_type": "ctx_type",
+}
+
+
+def register_equality_predicate(
+    name: str, field: str, getter: Callable[[Context], object]
+) -> None:
+    """Declare that predicate ``name`` means ``getter(a) == getter(b)``.
+
+    Lets applications opt their own binary equality predicates into
+    join pruning.  ``getter`` must return a hashable value.
+    """
+    FIELD_GETTERS[field] = getter
+    EQUALITY_PREDICATES[name] = field
+
+
+# -- static join analysis -----------------------------------------------------
+
+
+def _equality(formula: Formula, positions: Mapping[str, int]):
+    """The ``(field, i, j)`` key if ``formula`` is an equality predicate
+    over two distinct prefix variables, else ``None``."""
+    if not isinstance(formula, Predicate):
+        return None
+    field = EQUALITY_PREDICATES.get(formula.func)
+    if field is None or len(formula.args) != 2:
+        return None
+    a, b = formula.args
+    if not (isinstance(a, Var) and isinstance(b, Var)) or a.name == b.name:
+        return None
+    if a.name not in positions or b.name not in positions:
+        return None
+    i, j = positions[a.name], positions[b.name]
+    return (field, min(i, j), max(i, j))
+
+
+def _guards(formula: Formula, positions: Mapping[str, int]) -> frozenset:
+    """Equality predicates ``E`` with ``not E  |=  formula``.
+
+    When any such guard is false for a binding, the body is true and
+    the binding cannot violate -- so it may be skipped.
+    """
+    if isinstance(formula, Implies):
+        return _conj(formula.left, positions) | _guards(formula.right, positions)
+    if isinstance(formula, Or):
+        return _guards(formula.left, positions) | _guards(formula.right, positions)
+    if isinstance(formula, And):
+        return _guards(formula.left, positions) & _guards(formula.right, positions)
+    if isinstance(formula, Not):
+        return _conj(formula.operand, positions)
+    return frozenset()
+
+
+def _conj(formula: Formula, positions: Mapping[str, int]) -> frozenset:
+    """Equality predicates ``E`` with ``formula  |=  E``."""
+    key = _equality(formula, positions)
+    if key is not None:
+        return frozenset({key})
+    if isinstance(formula, And):
+        return _conj(formula.left, positions) | _conj(formula.right, positions)
+    if isinstance(formula, Or):
+        return _conj(formula.left, positions) & _conj(formula.right, positions)
+    if isinstance(formula, Not):
+        return _guards(formula.operand, positions)
+    if isinstance(formula, Implies):
+        return _guards(formula.left, positions) & _conj(formula.right, positions)
+    return frozenset()
+
+
+@dataclass(frozen=True)
+class JoinAnalysis:
+    """Per-field equivalence classes of prefix positions.
+
+    ``groups`` holds ``(field, positions)`` pairs (positions index the
+    universal prefix, each group has >= 2 members): any binding that
+    can violate the body agrees on ``field`` across ``positions``.
+    """
+
+    groups: Tuple[Tuple[str, FrozenSet[int]], ...]
+
+    def fields_joining(self, pinned: int, other: int) -> Tuple[str, ...]:
+        """Fields that ``other`` must share with position ``pinned``."""
+        return tuple(
+            field
+            for field, members in self.groups
+            if pinned in members and other in members
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.groups
+
+
+def analyze_joins(
+    vars_types: Sequence[Tuple[str, str]], body: Formula
+) -> JoinAnalysis:
+    """Extract the sound equality joins of a prefix-universal body."""
+    positions = {var: i for i, (var, _) in enumerate(vars_types)}
+    guards = _guards(body, positions)
+    # Union-find per field: a chain same_f(a,b) and same_f(b,c) joins
+    # all three positions.
+    parents: Dict[Tuple[str, int], Tuple[str, int]] = {}
+
+    def find(node):
+        root = node
+        while parents.get(root, root) != root:
+            root = parents[root]
+        while parents.get(node, node) != node:
+            parents[node], node = root, parents[node]
+        return root
+
+    for field, i, j in guards:
+        parents.setdefault((field, i), (field, i))
+        parents.setdefault((field, j), (field, j))
+        parents[find((field, i))] = find((field, j))
+
+    classes: Dict[Tuple[str, int], List[int]] = {}
+    for field, i, j in guards:
+        for position in (i, j):
+            root = find((field, position))
+            members = classes.setdefault(root, [])
+            if position not in members:
+                members.append(position)
+    groups = sorted(
+        ((root[0], frozenset(members)) for root, members in classes.items()),
+        key=lambda group: (group[0], sorted(group[1])),
+    )
+    return JoinAnalysis(tuple(groups))
+
+
+# -- candidate indexes --------------------------------------------------------
+
+_EMPTY: Dict[str, Context] = {}
+
+#: Restriction list: ``(field, required value)`` pairs.
+Restrictions = Sequence[Tuple[str, object]]
+
+
+class CandidateIndex:
+    """Persistent per-(type, field) hash buckets over a context pool.
+
+    Registered as a pool listener (``on_add`` / ``on_remove`` /
+    ``on_clear``), so add, discard and expiry keep it consistent
+    without the checker rebuilding ``by_type`` per detect call.
+    Buckets map a field value to contexts **in arrival order** (dict
+    insertion order), matching a linear scan of the pool.
+
+    Fields are indexed lazily: the first :meth:`candidates` query for
+    a field backfills its buckets from the current contents.
+    """
+
+    def __init__(self, fields: Iterable[str] = ()) -> None:
+        self._by_type: Dict[str, Dict[str, Context]] = {}
+        # (ctx_type, field) -> value -> ctx_id -> ctx
+        self._buckets: Dict[Tuple[str, str], Dict[object, Dict[str, Context]]] = {}
+        self._fields: List[str] = []
+        self.size = 0
+        for field in fields:
+            self.ensure_field(field)
+
+    # -- pool listener interface --
+
+    def on_add(self, ctx: Context) -> None:
+        self._by_type.setdefault(ctx.ctx_type, {})[ctx.ctx_id] = ctx
+        self.size += 1
+        for field in self._fields:
+            value = FIELD_GETTERS[field](ctx)
+            bucket = self._buckets.setdefault((ctx.ctx_type, field), {})
+            bucket.setdefault(value, {})[ctx.ctx_id] = ctx
+
+    def on_remove(self, ctx: Context) -> None:
+        extent = self._by_type.get(ctx.ctx_type, _EMPTY)
+        if ctx.ctx_id not in extent:
+            return
+        del extent[ctx.ctx_id]
+        self.size -= 1
+        for field in self._fields:
+            value = FIELD_GETTERS[field](ctx)
+            by_value = self._buckets.get((ctx.ctx_type, field))
+            if by_value is not None:
+                bucket = by_value.get(value)
+                if bucket is not None:
+                    bucket.pop(ctx.ctx_id, None)
+
+    def on_clear(self) -> None:
+        self._by_type.clear()
+        self._buckets.clear()
+        self.size = 0
+
+    # -- maintenance --
+
+    def ensure_field(self, field: str) -> None:
+        """Start indexing ``field``, backfilling from current contents."""
+        if field in self._fields:
+            return
+        if field not in FIELD_GETTERS:
+            raise KeyError(f"no getter registered for field {field!r}")
+        self._fields.append(field)
+        getter = FIELD_GETTERS[field]
+        for ctx_type, extent in self._by_type.items():
+            by_value = self._buckets.setdefault((ctx_type, field), {})
+            for ctx in extent.values():
+                by_value.setdefault(getter(ctx), {})[ctx.ctx_id] = ctx
+
+    def rebuild(self, contexts: Iterable[Context]) -> None:
+        """Reset to exactly ``contexts`` (in the given order)."""
+        self.on_clear()
+        for ctx in contexts:
+            self.on_add(ctx)
+
+    # -- queries --
+
+    def extent(self, ctx_type: str) -> Sequence[Context]:
+        """All contexts of ``ctx_type``, in arrival order."""
+        return self._by_type.get(ctx_type, _EMPTY).values()
+
+    def extent_size(self, ctx_type: str) -> int:
+        return len(self._by_type.get(ctx_type, _EMPTY))
+
+    def candidates(
+        self, ctx_type: str, restrictions: Restrictions
+    ) -> Sequence[Context]:
+        """Contexts of ``ctx_type`` matching every ``(field, value)``
+        restriction, in arrival order."""
+        if not restrictions:
+            return self.extent(ctx_type)
+        field, value = restrictions[0]
+        if field not in self._fields:
+            self.ensure_field(field)
+        bucket = self._buckets.get((ctx_type, field), _EMPTY).get(value)
+        if not bucket:
+            return ()
+        matches = bucket.values()
+        if len(restrictions) == 1:
+            return matches
+        rest = [(FIELD_GETTERS[f], v) for f, v in restrictions[1:]]
+        return [
+            ctx
+            for ctx in matches
+            if all(getter(ctx) == v for getter, v in rest)
+        ]
+
+    def contents(self) -> List[Context]:
+        """Every indexed context (arrival order within each type)."""
+        return [ctx for extent in self._by_type.values() for ctx in extent.values()]
+
+
+class EphemeralScopeIndex:
+    """The :class:`CandidateIndex` query interface over a scope list.
+
+    Built once per ``detect`` call when the checking scope differs
+    from the attached pool (or no pool is attached); buckets are
+    materialised lazily per queried ``(type, field)``.
+    """
+
+    def __init__(self, contexts: Sequence[Context]) -> None:
+        self._by_type: Dict[str, List[Context]] = {}
+        for ctx in contexts:
+            self._by_type.setdefault(ctx.ctx_type, []).append(ctx)
+        self._buckets: Dict[Tuple[str, str], Dict[object, List[Context]]] = {}
+
+    def extent(self, ctx_type: str) -> Sequence[Context]:
+        return self._by_type.get(ctx_type, ())
+
+    def extent_size(self, ctx_type: str) -> int:
+        return len(self._by_type.get(ctx_type, ()))
+
+    def candidates(
+        self, ctx_type: str, restrictions: Restrictions
+    ) -> Sequence[Context]:
+        if not restrictions:
+            return self.extent(ctx_type)
+        field, value = restrictions[0]
+        key = (ctx_type, field)
+        by_value = self._buckets.get(key)
+        if by_value is None:
+            getter = FIELD_GETTERS[field]
+            by_value = {}
+            for ctx in self._by_type.get(ctx_type, ()):
+                by_value.setdefault(getter(ctx), []).append(ctx)
+            self._buckets[key] = by_value
+        matches = by_value.get(value, ())
+        if len(restrictions) == 1 or not matches:
+            return matches
+        rest = [(FIELD_GETTERS[f], v) for f, v in restrictions[1:]]
+        return [
+            ctx
+            for ctx in matches
+            if all(getter(ctx) == v for getter, v in rest)
+        ]

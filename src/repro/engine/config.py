@@ -151,6 +151,11 @@ class EngineConfig:
     fault:
         Fault-tolerance tunables of process mode (supervision,
         retry/backoff, checkpointed replay); see :class:`FaultConfig`.
+    kernels:
+        Compile constraint bodies into specialized closures and prune
+        candidate enumeration through equality-join indexes (default).
+        ``False`` forces the interpreted reference path -- the
+        ``repro engine run --no-kernels`` escape hatch.
     """
 
     shards: int = 4
@@ -160,6 +165,7 @@ class EngineConfig:
     batch_size: int = 64
     max_queue_batches: int = 8
     fault: FaultConfig = field(default_factory=FaultConfig)
+    kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:

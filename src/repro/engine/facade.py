@@ -138,6 +138,7 @@ class ShardedEngine:
                 use_delay=self.config.use_delay,
                 telemetry_enabled=telemetry_enabled,
                 fault_injector=self.fault_injector,
+                kernels=self.config.kernels,
             )
             for shard_id in range(self.config.shards)
         ]

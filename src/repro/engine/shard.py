@@ -103,6 +103,12 @@ class ShardPipeline:
         self.shard_id = shard_id
         self.pool = ContextPool()
         self.resolution = ResolutionService(detector, strategy)
+        if hasattr(detector, "attach_pool"):
+            # Constraint checkers keep a persistent candidate index in
+            # shard state, fed by pool listeners; checkpoint restore
+            # re-adds the pool contents, which rebuilds it (see
+            # ShardExecutionState._restore).
+            detector.attach_pool(self.pool)
         self.bus = bus if bus is not None else EventBus()
         self._expiry_heap: List[Tuple[float, int, Context]] = []
         self._heap_seq = 0
@@ -390,12 +396,17 @@ class ShardSpec:
     #: processes -- never in the parent's degraded lane -- and must be
     #: picklable (a module-level callable or instance of one).
     fault_injector: Optional[Callable[[int, int, int, str], None]] = None
+    #: Compiled constraint kernels + equality-join candidate indexes
+    #: (the ``--no-kernels`` escape hatch turns this off).
+    kernels: bool = True
 
     def build(self, telemetry=None) -> ShardPipeline:
         """Rebuild the pipeline; ``telemetry`` overrides the spec flag
         (inline mode shares the engine's bundle across shards)."""
         checker = ConstraintChecker(
-            self.constraints, registry=self.registry_factory()
+            self.constraints,
+            registry=self.registry_factory(),
+            kernels=self.kernels,
         )
         strategy = make_strategy(self.strategy, **dict(self.strategy_kwargs))
         if telemetry is None:

@@ -102,6 +102,7 @@ def run_scalability_bench(
     seed: int = 0,
     workload: Optional[Tuple[List[Constraint], List[Context]]] = None,
     telemetry=None,
+    kernels: bool = True,
 ) -> Dict[str, object]:
     """Measure engine throughput at each shard count on one workload.
 
@@ -121,7 +122,7 @@ def run_scalability_bench(
     signature = None
     for shards in shard_counts:
         config = EngineConfig(
-            shards=shards, mode=mode, use_window=use_window
+            shards=shards, mode=mode, use_window=use_window, kernels=kernels
         )
         best: Optional[float] = None
         last = None
@@ -166,6 +167,7 @@ def run_scalability_bench(
             "mode": mode,
             "use_window": use_window,
             "seed": seed,
+            "kernels": kernels,
         },
         "contexts_per_second_by_shards": results,
         "speedup": {

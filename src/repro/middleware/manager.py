@@ -100,6 +100,10 @@ class Middleware:
         self._pending_use: Deque[Tuple[Context, int, float]] = deque()
         self._arrivals = 0
         self._used_ids: set = set()
+        if hasattr(detector, "attach_pool"):
+            # Constraint checkers maintain persistent candidate
+            # indexes through pool listeners (see constraints.index).
+            detector.attach_pool(self.pool)
         self.attach_telemetry(
             telemetry if telemetry is not None else self.resolution.telemetry
         )  # NULL bundle until a live one is attached

@@ -20,10 +20,25 @@ __all__ = ["ContextPool"]
 
 
 class ContextPool:
-    """Ordered collection of live contexts with expiry support."""
+    """Ordered collection of live contexts with expiry support.
+
+    Listeners (e.g. the constraint checker's candidate index) observe
+    every mutation: ``on_add(ctx)`` after an insert, ``on_remove(ctx)``
+    after a discard or expiry, ``on_clear()`` after a reset.
+    """
 
     def __init__(self) -> None:
         self._by_id: Dict[str, Context] = {}
+        self._listeners: List[object] = []
+
+    # -- listeners --------------------------------------------------------
+
+    def add_listener(self, listener: object) -> None:
+        """Register a mutation observer (on_add/on_remove/on_clear)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        self._listeners.remove(listener)
 
     # -- mutation ---------------------------------------------------------
 
@@ -32,12 +47,20 @@ class ContextPool:
         if ctx.ctx_id in self._by_id:
             raise ValueError(f"context {ctx.ctx_id!r} already in pool")
         self._by_id[ctx.ctx_id] = ctx
+        for listener in self._listeners:
+            listener.on_add(ctx)
 
     def remove(self, ctx: Context) -> bool:
         """Remove a context (discard); returns whether it was present."""
-        if ctx.ctx_id not in self._by_id:
+        stored = self._by_id.get(ctx.ctx_id)
+        if stored is None:
             return False
         del self._by_id[ctx.ctx_id]
+        # Notify with the *stored* instance: a caller may hold an
+        # equal-but-distinct object, and listeners index the one that
+        # actually lived in the pool.
+        for listener in self._listeners:
+            listener.on_remove(stored)
         return True
 
     def expire(self, now: float) -> List[Context]:
@@ -49,6 +72,8 @@ class ContextPool:
 
     def clear(self) -> None:
         self._by_id.clear()
+        for listener in self._listeners:
+            listener.on_clear()
 
     # -- lookup -----------------------------------------------------------
 

@@ -1,0 +1,197 @@
+"""Unit tests for constraint kernel compilation (constraints.compile).
+
+The contract: a compiled kernel is observationally identical to
+``Evaluator.truth`` on the same binding -- same truth value, same
+predicate call order, same short-circuiting -- and formulas outside
+the fragment compile to ``None`` (callers keep interpreting).
+"""
+
+from repro.constraints.ast import (
+    And,
+    Implies,
+    Not,
+    Or,
+    exists,
+    forall,
+    pred,
+)
+from repro.constraints.builtins import standard_registry
+from repro.constraints.compile import compile_kernel
+from repro.constraints.evaluator import Evaluator
+from repro.core.context import Context
+
+
+def _ctx(index, x, subject="p"):
+    return Context(
+        ctx_id=f"k{index:03d}",
+        ctx_type="location",
+        subject=subject,
+        value=(float(x), 0.0),
+        timestamp=float(index),
+    )
+
+
+def _no_domain(ctx_type):
+    return ()
+
+
+VELOCITY_BODY = Implies(
+    And(
+        And(pred("same_subject", "l1", "l2"), pred("before", "l1", "l2")),
+        pred("within_time", "l1", "l2", 1.5),
+    ),
+    pred("velocity_le", "l1", "l2", 1.5),
+)
+
+
+class TestCompilation:
+    def test_quantifier_free_body_compiles(self):
+        registry = standard_registry()
+        kernel = compile_kernel(VELOCITY_BODY, ("l1", "l2"), registry)
+        assert kernel is not None
+        assert kernel.var_names == ("l1", "l2")
+        assert kernel.registry_version == registry.version
+        assert "def _kernel(" in kernel.source
+
+    def test_kernel_agrees_with_interpreter(self):
+        registry = standard_registry()
+        kernel = compile_kernel(VELOCITY_BODY, ("l1", "l2"), registry)
+        evaluator = Evaluator(registry, use_kernels=False)
+        contexts = [_ctx(0, 0.0), _ctx(1, 9.0), _ctx(2, 9.5, subject="q")]
+        for a in contexts:
+            for b in contexts:
+                expected = evaluator.truth(
+                    VELOCITY_BODY, _no_domain, {"l1": a, "l2": b}
+                )
+                assert kernel.fn(a, b, _no_domain) == expected
+
+    def test_literals_are_prebound(self):
+        registry = standard_registry()
+        kernel = compile_kernel(
+            pred("within_time", "a", "b", 2.0), ("a", "b"), registry
+        )
+        assert kernel is not None
+        assert kernel.fn(_ctx(0, 0.0), _ctx(1, 0.0), _no_domain)
+        assert not kernel.fn(_ctx(0, 0.0), _ctx(5, 0.0), _no_domain)
+
+    def test_short_circuit_call_order_matches_interpreter(self):
+        registry = standard_registry()
+        calls = []
+
+        def spy(name, result):
+            def fn(*_args):
+                calls.append(name)
+                return result
+
+            return fn
+
+        registry.register("sp_a", spy("a", False))
+        registry.register("sp_b", spy("b", True))
+        registry.register("sp_c", spy("c", False))
+        body = Or(And(pred("sp_a", "x"), pred("sp_b", "x")), pred("sp_c", "x"))
+        kernel = compile_kernel(body, ("x",), registry)
+        ctx = _ctx(0, 0.0)
+
+        calls.clear()
+        kernel_value = kernel.fn(ctx, _no_domain)
+        kernel_calls = list(calls)
+
+        calls.clear()
+        interp_value = Evaluator(registry, use_kernels=False).truth(
+            body, _no_domain, {"x": ctx}
+        )
+        assert kernel_value == interp_value
+        assert kernel_calls == calls  # a short-circuits past b; c runs
+
+    def test_implies_short_circuits_consequent(self):
+        registry = standard_registry()
+        consequent_calls = []
+        registry.register("boom", lambda c: consequent_calls.append(c) or True)
+        body = Implies(pred("false"), pred("boom", "x"))
+        kernel = compile_kernel(body, ("x",), registry)
+        assert kernel.fn(_ctx(0, 0.0), _no_domain) is True
+        assert consequent_calls == []
+
+    def test_truthy_returns_coerced_to_bool(self):
+        registry = standard_registry()
+        registry.register("count", lambda c: len(c.subject))  # int, not bool
+        kernel = compile_kernel(pred("count", "x"), ("x",), registry)
+        assert kernel.fn(_ctx(0, 0.0), _no_domain) is True
+        assert kernel.fn(_ctx(0, 0.0, subject=""), _no_domain) is False
+
+    def test_quantifiers_in_body(self):
+        registry = standard_registry()
+        body = exists("s", "location", pred("before", "s", "r"))
+        kernel = compile_kernel(body, ("r",), registry)
+        early, late = _ctx(0, 1.0), _ctx(5, 2.0)
+
+        def domain(ctx_type):
+            return [early] if ctx_type == "location" else []
+
+        assert kernel.fn(late, domain) is True
+        assert kernel.fn(early, domain) is False
+
+    def test_closed_universal_formula(self):
+        registry = standard_registry()
+        formula = forall(
+            "a", "location", forall("b", "location", pred("same_subject", "a", "b"))
+        )
+        kernel = compile_kernel(formula, (), registry)
+        same = [_ctx(0, 0.0), _ctx(1, 1.0)]
+        mixed = same + [_ctx(2, 2.0, subject="q")]
+        assert kernel.fn(lambda t: same) is True
+        assert kernel.fn(lambda t: mixed) is False
+
+
+class TestOutOfFragment:
+    def test_unregistered_predicate_returns_none(self):
+        registry = standard_registry()
+        assert compile_kernel(pred("nope", "x"), ("x",), registry) is None
+
+    def test_shadowed_quantifier_returns_none(self):
+        registry = standard_registry()
+        body = exists("x", "location", pred("true"))
+        # The free variable list claims "x" is already bound outside.
+        assert compile_kernel(body, ("x",), registry) is None
+
+    def test_unbound_variable_returns_none(self):
+        registry = standard_registry()
+        assert compile_kernel(pred("same_subject", "x", "y"), ("x",), registry) is None
+
+    def test_unknown_node_returns_none(self):
+        registry = standard_registry()
+        assert compile_kernel(Not("not a formula"), (), registry) is None
+
+
+class TestRegistryVersioning:
+    def test_register_and_replace_bump_version(self):
+        registry = standard_registry()
+        before = registry.version
+        registry.register("fresh", lambda: True)
+        assert registry.version == before + 1
+        registry.replace("fresh", lambda: False)
+        assert registry.version == before + 2
+
+    def test_mutating_now_does_not_bump(self):
+        registry = standard_registry()
+        before = registry.version
+        registry.now = 42.0
+        assert registry.version == before
+
+    def test_evaluator_cache_invalidated_on_replace(self):
+        registry = standard_registry()
+        registry.register("flag", lambda c: True)
+        evaluator = Evaluator(registry)
+        formula = pred("flag", "x")
+        env = {"x": _ctx(0, 0.0)}
+        assert evaluator.truth(formula, _no_domain, env) is True
+        registry.replace("flag", lambda c: False)
+        assert evaluator.truth(formula, _no_domain, env) is False
+
+    def test_late_registration_brings_formula_into_fragment(self):
+        registry = standard_registry()
+        evaluator = Evaluator(registry)
+        formula = pred("late", "x")
+        assert evaluator.kernel_for(formula) is None
+        registry.register("late", lambda c: True)
+        assert evaluator.kernel_for(formula) is not None

@@ -1,0 +1,189 @@
+"""Property-based equivalence: compiled kernels vs. the interpreter.
+
+The acceptance bar for the compilation/indexing layer is *observational
+equivalence*: a checker with kernels and join pruning enabled must
+produce the identical violation sequence -- same inconsistencies, same
+order -- as the pure interpreted reference path, on any stream.  These
+tests machine-check that over random streams and a mix of constraints,
+including one deliberately outside the compilable fragment (so the
+interpreter fallback stays exercised), and pin the accounting counters
+that report which path actually ran.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.ast import Constraint, Implies, exists, forall, pred
+from repro.constraints.builtins import standard_registry
+from repro.constraints.checker import ConstraintChecker
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+from repro.middleware.pool import ContextPool
+from repro.obs.telemetry import Telemetry
+
+
+def _ctx(index, x, subject="p"):
+    return Context(
+        ctx_id=f"e{index:03d}",
+        ctx_type="location",
+        subject=subject,
+        value=(float(x), 0.0),
+        timestamp=float(index),
+    )
+
+
+def velocity_constraint(bound=1.5, gap=1.5):
+    return parse_constraint(
+        "velocity",
+        f"forall l1 in location, forall l2 in location : "
+        f"(same_subject(l1, l2) and before(l1, l2) "
+        f"and within_time(l1, l2, {gap})) "
+        f"implies velocity_le(l1, l2, {bound})",
+    )
+
+
+def provenance_constraint():
+    return parse_constraint(
+        "provenance",
+        "forall r in location : far(r) implies "
+        "(exists s in location : before(s, r))",
+    )
+
+
+def shadowing_constraint():
+    """Out of the compilable fragment: the existential re-binds ``x``.
+
+    The interpreter handles the shadowing fine; the compiler refuses
+    it, so checking this constraint must fall back per evaluation.
+    """
+    return Constraint(
+        "shadowed",
+        forall(
+            "x",
+            "location",
+            Implies(pred("true"), exists("x", "location", pred("far", "x"))),
+        ),
+    )
+
+
+def _registry():
+    registry = standard_registry()
+    registry.register("far", lambda c: c.position[0] > 5.0)
+    return registry
+
+
+def _detect_stream(checker, contexts):
+    """Feed a stream, returning the full per-arrival violation trace."""
+    pool = ContextPool()
+    trace = []
+    for ctx in contexts:
+        found = checker.detect(ctx, pool.contents(), now=ctx.timestamp)
+        trace.append(
+            (
+                ctx.ctx_id,
+                [
+                    (inc.constraint, sorted(c.ctx_id for c in inc.contexts))
+                    for inc in found
+                ],
+            )
+        )
+        pool.add(ctx)
+    return trace
+
+
+def _checker(kernels):
+    return ConstraintChecker(
+        [velocity_constraint(), provenance_constraint(), shadowing_constraint()],
+        registry=_registry(),
+        kernels=kernels,
+    )
+
+
+class TestStreamEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=10))
+    def test_single_subject_traces_identical(self, xs):
+        contexts = [_ctx(i, x) for i, x in enumerate(xs)]
+        assert _detect_stream(_checker(True), contexts) == _detect_stream(
+            _checker(False), contexts
+        )
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.sampled_from(["p", "q"])),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_multi_subject_traces_identical(self, moves):
+        contexts = [
+            _ctx(i, x, subject=subject) for i, (x, subject) in enumerate(moves)
+        ]
+        assert _detect_stream(_checker(True), contexts) == _detect_stream(
+            _checker(False), contexts
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=8))
+    def test_full_check_matches_incremental_union(self, xs):
+        # check_all is the interpreted ground truth; the kernels-on
+        # incremental trace must find exactly the same violations for
+        # the pairwise velocity constraint.
+        contexts = [_ctx(i, x) for i, x in enumerate(xs)]
+        checker = ConstraintChecker([velocity_constraint()], registry=_registry())
+        incremental = {
+            frozenset(ids)
+            for _, found in _detect_stream(checker, contexts)
+            for _, ids in found
+        }
+        full = {
+            frozenset(c.ctx_id for c in inc.contexts)
+            for inc in checker.check_all(contexts, now=len(contexts))
+        }
+        assert incremental == full
+
+
+class TestAccounting:
+    def _stream(self):
+        return [
+            _ctx(i, x, subject="pq"[i % 2])
+            for i, x in enumerate([0, 0, 8, 8, 1, 7, 2, 6])
+        ]
+
+    def test_engine_counters_report_both_paths(self):
+        checker = _checker(True)
+        _detect_stream(checker, self._stream())
+        engine = checker._engine
+        # velocity + provenance compile; "shadowed" falls back.
+        assert engine.kernel_hits > 0
+        assert engine.interpreter_fallbacks > 0
+        # Two subjects: the velocity join prunes cross-subject pairs.
+        assert engine.bindings_pruned > 0
+        assert engine.bindings_enumerated > 0
+
+    def test_kernels_off_never_hits_kernels(self):
+        checker = _checker(False)
+        _detect_stream(checker, self._stream())
+        engine = checker._engine
+        assert engine.kernel_hits == 0
+        assert engine.interpreter_fallbacks > 0
+        assert engine.bindings_pruned == 0
+
+    def test_telemetry_counters_emitted(self):
+        checker = _checker(True)
+        checker.telemetry = Telemetry(enabled=True)
+        _detect_stream(checker, self._stream())
+        registry = checker.telemetry.registry
+        engine = checker._engine
+        assert (
+            registry.value("check_bindings_enumerated")
+            == engine.bindings_enumerated
+        )
+        assert registry.value("check_bindings_pruned") == engine.bindings_pruned
+        assert registry.value("check_kernel_hits") == engine.kernel_hits
+        assert (
+            registry.value("check_interpreter_fallbacks")
+            == engine.interpreter_fallbacks
+        )
+        assert registry.value("check_kernel_hits") > 0
