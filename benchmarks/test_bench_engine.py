@@ -20,10 +20,13 @@ runner -- sharding that changed any outcome would abort the benchmark.
 """
 
 import pathlib
+import time
+import warnings
 
 from conftest import write_report
 
-from repro.engine import write_bench_json
+from repro.apps import CallForwardingApp
+from repro.engine import EngineConfig, ShardedEngine, write_bench_json
 from repro.engine.workload import run_scalability_bench
 from repro.obs import Telemetry, read_sidecar, stage_histogram_nonempty, write_sidecar
 
@@ -102,3 +105,70 @@ def test_engine_scalability(benchmark):
     assert speedup >= 2.0, (
         f"expected >= 2x throughput at 4 shards vs 1, measured {speedup}x"
     )
+
+
+def test_runtime_batch_column():
+    """A/B the amortized runtime batch path on the call-forwarding stream.
+
+    Records a ``runtime_batch`` column into ``BENCH_engine.json``:
+    contexts/second through :func:`repro.runtime.batch.receive_batch`
+    (the default) vs the per-context ``driver.receive`` reference path
+    (``--no-runtime-batch``), on the same inline engine.  Decision
+    identity between the two paths is asserted hard; throughput is
+    fail-soft -- a >30% regression of the batch path warns rather than
+    fails, because the column exists to make drift visible across
+    commits, not to flake CI on a loaded machine.
+    """
+    app = CallForwardingApp()
+    stream = app.generate_workload(0.3, seed=88, duration=400.0)
+    constraints = app.build_checker().constraints()
+
+    def run(runtime_batch):
+        engine = ShardedEngine(
+            constraints,
+            strategy="drop-bad",
+            registry_factory=app.build_registry,
+            config=EngineConfig(
+                shards=2, use_window=10, runtime_batch=runtime_batch
+            ),
+        )
+        started = time.perf_counter()
+        result = engine.run(stream)
+        return time.perf_counter() - started, result
+
+    def best_of(runtime_batch, repeats=3):
+        best_elapsed, kept = float("inf"), None
+        for _ in range(repeats):
+            elapsed, result = run(runtime_batch)
+            if elapsed < best_elapsed:
+                best_elapsed, kept = elapsed, result
+        return best_elapsed, kept
+
+    batch_s, batch_result = best_of(True)
+    perctx_s, perctx_result = best_of(False)
+    assert batch_result.delivered_ids == perctx_result.delivered_ids
+    assert batch_result.discarded_ids == perctx_result.discarded_ids
+
+    ratio = perctx_s / batch_s if batch_s > 0 else float("inf")
+    record = {
+        "n_contexts": len(stream),
+        "batch_contexts_per_second": len(stream) / batch_s,
+        "per_context_contexts_per_second": len(stream) / perctx_s,
+        "batch_vs_per_context": ratio,
+        "delivered": len(batch_result.delivered_ids),
+        "discarded": len(batch_result.discarded_ids),
+    }
+    write_bench_json(OUT_JSON, "runtime_batch", record)
+    write_report(
+        "runtime_batch",
+        "Runtime batch path -- call-forwarding stream, 2 shards, window 10\n"
+        f"  batch:       {record['batch_contexts_per_second']:>9.1f} ctx/s\n"
+        f"  per-context: {record['per_context_contexts_per_second']:>9.1f} ctx/s\n"
+        f"  batch/per-context ratio: {ratio:.2f}x",
+    )
+    if ratio < 0.7:
+        warnings.warn(
+            "runtime batch path is >30% slower than per-context receive "
+            f"({ratio:.2f}x); investigate before shipping",
+            stacklevel=1,
+        )

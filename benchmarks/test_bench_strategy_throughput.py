@@ -67,3 +67,35 @@ def test_pool_remove_stays_constant_time_at_10k_contexts():
         f"pool remove degraded super-linearly: {small * 1e9:.0f}ns/remove "
         f"at 1k contexts vs {large * 1e9:.0f}ns/remove at 20k"
     )
+
+
+def _per_discard_seconds(n_pending: int) -> float:
+    """Best-of-3 per-discard cost with ``n_pending`` scheduled uses."""
+    from repro.runtime.scheduler import UseScheduler
+
+    contexts = [make_context(ctx_id=f"q{i}") for i in range(n_pending)]
+    best = float("inf")
+    for _ in range(3):
+        scheduler = UseScheduler(use_window=n_pending + 1)
+        for ctx in contexts:
+            scheduler.schedule(ctx, 0, ctx.timestamp)
+        started = time.perf_counter()
+        for ctx in contexts:
+            scheduler.discard(ctx.ctx_id)
+        best = min(best, (time.perf_counter() - started) / n_pending)
+    return best
+
+
+def test_scheduler_discard_stays_constant_time_at_20k_pending():
+    # The historical unschedule rebuilt the whole pending-use deque per
+    # discard (`Middleware._unschedule` / `StreamDriver._unschedule`):
+    # O(pending) each, quadratic to drain a window.  The UseScheduler's
+    # id-index + tombstones make discard amortized O(1): per-discard
+    # cost must not scale with the queue length.
+    small = _per_discard_seconds(1_000)
+    large = _per_discard_seconds(20_000)
+    assert large < small * 8, (
+        f"scheduler discard scales with queue length: "
+        f"{small * 1e9:.0f}ns/discard at 1k pending vs "
+        f"{large * 1e9:.0f}ns/discard at 20k"
+    )

@@ -152,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable compiled constraint kernels and equality-join "
         "candidate indexes (interpreted reference path)",
     )
+    engine_run.add_argument(
+        "--no-runtime-batch",
+        action="store_true",
+        help="disable the amortized runtime batch path (per-context "
+        "receive reference path)",
+    )
     engine_bench = engine_sub.add_parser(
         "bench", help="measure engine throughput per shard count"
     )
@@ -369,6 +375,7 @@ def _cmd_engine(args, out) -> int:
             batch_size=args.batch_size,
             fault=FaultConfig(**fault_overrides),
             kernels=not args.no_kernels,
+            runtime_batch=not args.no_runtime_batch,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -156,6 +156,12 @@ class EngineConfig:
         candidate enumeration through equality-join indexes (default).
         ``False`` forces the interpreted reference path -- the
         ``repro engine run --no-kernels`` escape hatch.
+    runtime_batch:
+        Apply arrivals through the amortized runtime batch path
+        (:func:`repro.runtime.batch.receive_batch`, default).
+        ``False`` falls back to per-context ``driver.receive`` -- the
+        ``repro engine run --no-runtime-batch`` escape hatch and the
+        A/B lever of the ``runtime_batch`` benchmark column.
     """
 
     shards: int = 4
@@ -166,6 +172,7 @@ class EngineConfig:
     max_queue_batches: int = 8
     fault: FaultConfig = field(default_factory=FaultConfig)
     kernels: bool = True
+    runtime_batch: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:

@@ -139,6 +139,7 @@ class ShardedEngine:
                 telemetry_enabled=telemetry_enabled,
                 fault_injector=self.fault_injector,
                 kernels=self.config.kernels,
+                runtime_batch=self.config.runtime_batch,
             )
             for shard_id in range(self.config.shards)
         ]
@@ -191,7 +192,12 @@ class ShardedEngine:
             use_window=self.config.use_window,
             use_delay=self.config.use_delay,
         )
-        driver.receive_all(contexts)
+        if self.config.runtime_batch:
+            driver.receive_all(contexts)
+        else:
+            for ctx in contexts:
+                driver.receive(ctx)
+            driver.flush_uses()
         return self._collect_inline(pipelines, events, telemetry)
 
     def _collect_inline(

@@ -1,18 +1,20 @@
-"""Shard pipelines: per-shard pool + checker + strategy execution.
+"""Shard adapters over the canonical runtime, plus process plumbing.
 
-A :class:`ShardPipeline` owns one :class:`~repro.middleware.pool.ContextPool`,
-one detector and one strategy instance, and applies the two context
-changes exactly as :class:`~repro.middleware.manager.Middleware` does --
-but against the shard-local pool only, and with use scheduling factored
-out so a caller can drive it (the engine facade drives all shards from
-one global schedule; a worker process drives its shard from its own).
+Since ISSUE 5 the receive/check/resolve/use/expire life cycle lives in
+exactly one place -- :mod:`repro.runtime` -- and this module only
+*adapts* it to the sharded engine:
 
-:class:`StreamDriver` is that factored-out schedule: the clock, the
-arrival counter and the pending-use queue of ``Middleware.receive``,
-generalized to dispatch each context to one of several pipelines.
-Driving *n* pipelines through one driver reproduces the single-pool
-middleware's use schedule globally; driving one pipeline per driver
-gives the shard-local schedule worker processes use.
+* :class:`ShardPipeline` is a
+  :class:`~repro.runtime.pipeline.ResolutionPipeline` with a shard id,
+  per-shard arrival/use counters and the ``engine_shard_*`` accounting
+  (:meth:`~ShardPipeline.flush_stats`).  No stage logic is defined
+  here.
+* :class:`StreamDriver` is a
+  :class:`~repro.runtime.pipeline.PipelineDriver` under its historical
+  name: driving *n* pipelines through one driver reproduces the
+  single-pool middleware's use schedule globally (inline mode);
+  driving one pipeline per driver gives the shard-local schedule
+  worker processes use.
 
 Module-level functions (:func:`run_shard_substream`,
 :func:`run_shard_from_queue`, :func:`run_shard_supervised`) are the
@@ -22,24 +24,23 @@ worker needs to rebuild its pipeline, in picklable form.
 :class:`ShardExecutionState` is the checkpointable core the supervised
 entry point (and the supervisor's in-parent degraded lane) drive: it
 owns the pipeline, the shard-local :class:`StreamDriver` and the event
-log, applies batches idempotently by batch index, and can capture /
-restore a :class:`ShardCheckpoint` -- the plain-data snapshot that
-makes deterministic replay after a worker crash possible.
+log, applies batches idempotently by batch index -- through the
+amortized :func:`repro.runtime.batch.receive_batch` path unless the
+spec opts out -- and can capture / restore a :class:`ShardCheckpoint`,
+the plain-data snapshot that makes deterministic replay after a worker
+crash possible.
 """
 
 from __future__ import annotations
 
-import heapq
 import pickle
 import threading
 import time
 import traceback
-from collections import deque
 from dataclasses import dataclass, field
 from functools import partial
 from typing import (
     Callable,
-    Deque,
     Dict,
     Iterable,
     List,
@@ -52,22 +53,11 @@ from ..constraints.ast import Constraint
 from ..constraints.builtins import FunctionRegistry, standard_registry
 from ..constraints.checker import ConstraintChecker
 from ..core.context import Context
-from ..core.resolver import AddOutcome, ResolutionService, UseOutcome
+from ..core.resolver import AddOutcome, UseOutcome
 from ..core.strategy import ResolutionStrategy, make_strategy
-from ..middleware.bus import (
-    ContextAdmitted,
-    ContextBuffered,
-    ContextDelivered,
-    ContextDiscarded,
-    ContextExpired,
-    ContextMarkedBad,
-    ContextReceived,
-    Event,
-    EventBus,
-    InconsistencyDetected,
-)
-from ..middleware.clock import SimulationClock
-from ..middleware.pool import ContextPool
+from ..middleware.bus import Event, EventBus
+from ..runtime.batch import receive_batch
+from ..runtime.pipeline import PipelineDriver, ResolutionPipeline
 
 __all__ = [
     "ShardPipeline",
@@ -82,14 +72,16 @@ __all__ = [
 ]
 
 
-class ShardPipeline:
+class ShardPipeline(ResolutionPipeline):
     """One shard's pool, detector and strategy, externally scheduled.
 
-    The ``add``/``use``/``expire_due`` methods mirror the corresponding
-    steps of ``Middleware.receive``/``use``/``_expire`` verbatim,
-    against the shard-local pool.  Expiry is guarded by a min-heap of
-    pending expiries so streams of immortal contexts pay O(1) per
-    arrival instead of a full pool scan.
+    The life cycle itself is inherited; this class adds the shard id,
+    the per-shard arrival/use counters and the ``engine_shard_*``
+    registry accounting.  The receive/use stage wrappers record
+    histogram-only (``wrapper_spans=False``): their interesting
+    sub-work (check/resolve/deliver) is already spanned inside, and the
+    throughput engine pays for every span it opens (see the telemetry
+    overhead benchmark).
     """
 
     def __init__(
@@ -101,124 +93,32 @@ class ShardPipeline:
         telemetry=None,
     ) -> None:
         self.shard_id = shard_id
-        self.pool = ContextPool()
-        self.resolution = ResolutionService(detector, strategy)
-        if hasattr(detector, "attach_pool"):
-            # Constraint checkers keep a persistent candidate index in
-            # shard state, fed by pool listeners; checkpoint restore
-            # re-adds the pool contents, which rebuilds it (see
-            # ShardExecutionState._restore).
-            detector.attach_pool(self.pool)
-        self.bus = bus if bus is not None else EventBus()
-        self._expiry_heap: List[Tuple[float, int, Context]] = []
-        self._heap_seq = 0
         #: Contexts this shard has processed (arrivals routed here).
         self.arrivals = 0
         self.uses = 0
         # Each pipeline needs a registry of its own (or its engine's):
-        # EngineMetrics is a view over it -- flush_stats() lands here.
+        # EngineMetrics is a view over it -- flush_stats() lands here,
+        # even when the bundle is disabled, so a shared NULL bundle
+        # would collide shards into one registry.
         if telemetry is None:
             from ..obs.telemetry import Telemetry
 
             telemetry = Telemetry.disabled()
-        self.telemetry = telemetry
-        self.resolution.telemetry = telemetry
-        if hasattr(detector, "telemetry"):
-            detector.telemetry = telemetry
-        # Reusable stage instruments, allocated once and re-entered per
-        # context.  Deliver/discard carry spans (their span counts must
-        # equal the delivered/discarded totals); the receive/use
-        # wrappers record histogram-only -- their interesting sub-work
-        # (check/resolve/deliver) is already spanned inside, and the
-        # throughput engine pays for every span it opens (see the
-        # telemetry overhead benchmark).
-        self._stage_receive = telemetry.stage_observer("receive")
-        self._stage_use = telemetry.stage_observer("use")
-        self._stage_deliver = telemetry.stage_timer("deliver")
-        self._stage_discard = telemetry.stage_timer("discard")
-
-    @property
-    def strategy(self) -> ResolutionStrategy:
-        return self.resolution.strategy
-
-    # -- the context addition change (Middleware.receive core) ------------
+        super().__init__(
+            detector,
+            strategy,
+            bus=bus,
+            telemetry=telemetry,
+            wrapper_spans=False,
+        )
 
     def add(self, ctx: Context, now: float) -> AddOutcome:
-        """Check ``ctx`` against the shard pool and apply the strategy.
-
-        Returns the strategy outcome; the caller schedules the context
-        for use iff it survived (``ctx not in outcome.discarded``) and
-        unschedules the victims.
-        """
         self.arrivals += 1
-        with self._stage_receive:
-            existing = [
-                c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id
-            ]
-            detected_before = len(self.resolution.log.detected)
-            outcome = self.resolution.handle_addition(ctx, existing, now)
-            self.bus.publish(ContextReceived(at=now, context=ctx))
-            for inconsistency in self.resolution.log.detected[detected_before:]:
-                self.bus.publish(
-                    InconsistencyDetected(at=now, inconsistency=inconsistency)
-                )
-
-            discarded_ids = {c.ctx_id for c in outcome.discarded}
-            if ctx.ctx_id not in discarded_ids:
-                self.pool.add(ctx)
-                if ctx.expiry != float("inf"):
-                    self._heap_seq += 1
-                    heapq.heappush(
-                        self._expiry_heap, (ctx.expiry, self._heap_seq, ctx)
-                    )
-            for victim in outcome.discarded:
-                with self._stage_discard:
-                    self.pool.remove(victim)
-                    self.bus.publish(ContextDiscarded(at=now, context=victim))
-            for admitted in outcome.admitted:
-                self.bus.publish(ContextAdmitted(at=now, context=admitted))
-            if outcome.buffered:
-                self.bus.publish(ContextBuffered(at=now, context=ctx))
-        return outcome
-
-    # -- the context deletion (use) change ---------------------------------
+        return super().add(ctx, now)
 
     def use(self, ctx: Context, now: float) -> UseOutcome:
-        """An application uses ``ctx``; mirrors ``Middleware.use``."""
         self.uses += 1
-        with self._stage_use:
-            outcome = self.resolution.handle_use(ctx, now)
-            for bad in outcome.newly_bad:
-                self.bus.publish(ContextMarkedBad(at=now, context=bad))
-            for victim in outcome.discarded:
-                with self._stage_discard:
-                    self.pool.remove(victim)
-                    self.bus.publish(ContextDiscarded(at=now, context=victim))
-            if outcome.delivered:
-                with self._stage_deliver:
-                    self.bus.publish(ContextDelivered(at=now, context=ctx))
-        return outcome
-
-    # -- expiry -------------------------------------------------------------
-
-    def expire_due(self, now: float) -> List[Context]:
-        """Remove every pooled context whose availability period passed.
-
-        The heap makes the no-expiry case O(1); entries for contexts
-        that were discarded first are skipped lazily.
-        """
-        expired: List[Context] = []
-        heap = self._expiry_heap
-        while heap and heap[0][0] <= now:
-            _, _, ctx = heapq.heappop(heap)
-            live = self.pool.get(ctx.ctx_id)
-            if live is None:
-                continue
-            self.pool.remove(live)
-            self.resolution.strategy.delta.resolve_involving(live)
-            self.bus.publish(ContextExpired(at=now, context=live))
-            expired.append(live)
-        return expired
+        return super().use(ctx, now)
 
     # -- diagnostics --------------------------------------------------------
 
@@ -274,97 +174,14 @@ class ShardPipeline:
             ).set(len(constraints()))
 
 
-class StreamDriver:
+class StreamDriver(PipelineDriver):
     """Global use scheduling over one or more shard pipelines.
 
-    Reproduces the window bookkeeping of ``Middleware.receive`` -- the
-    shared clock, the admitted-arrival counter, the pending-use queue,
-    both window semantics, and the ordering of expiry, draining,
-    checking and use around each arrival -- while the per-context pool
-    work happens in whichever pipeline ``route`` selects.
+    The historical engine name for the canonical
+    :class:`~repro.runtime.pipeline.PipelineDriver` -- the clock, the
+    :class:`~repro.runtime.scheduler.UseScheduler` and the arrival
+    loop are all inherited unchanged.
     """
-
-    def __init__(
-        self,
-        pipelines: Sequence[ShardPipeline],
-        route: Callable[[Context], int],
-        *,
-        use_window: int = 4,
-        use_delay: Optional[float] = None,
-    ) -> None:
-        if use_window < 0:
-            raise ValueError(f"use_window must be >= 0, got {use_window}")
-        if use_delay is not None and use_delay < 0:
-            raise ValueError(f"use_delay must be >= 0, got {use_delay}")
-        self.pipelines = list(pipelines)
-        self.route = route
-        self.use_window = use_window
-        self.use_delay = use_delay
-        self.clock = SimulationClock()
-        self._pending_use: Deque[Tuple[Context, int, int, float]] = deque()
-        self._arrivals = 0
-        self.delivered: List[Context] = []
-
-    # -- arrivals -----------------------------------------------------------
-
-    def receive(self, ctx: Context) -> None:
-        now = max(self.clock.now(), ctx.timestamp)
-        self.clock.advance_to(now)
-        for pipeline in self.pipelines:
-            for expired in pipeline.expire_due(now):
-                self._unschedule(expired)
-        if self.use_delay is not None:
-            self._drain_due_uses(now)
-
-        pipeline_index = self.route(ctx)
-        pipeline = self.pipelines[pipeline_index]
-        outcome = pipeline.add(ctx, now)
-        discarded_ids = {c.ctx_id for c in outcome.discarded}
-        if ctx.ctx_id not in discarded_ids:
-            self._arrivals += 1
-            self._pending_use.append((ctx, pipeline_index, self._arrivals, now))
-        for victim in outcome.discarded:
-            self._unschedule(victim)
-
-        self._drain_due_uses(now)
-
-    def receive_all(self, contexts: Iterable[Context]) -> None:
-        for ctx in contexts:
-            self.receive(ctx)
-        self.flush_uses()
-
-    # -- uses ---------------------------------------------------------------
-
-    def flush_uses(self) -> None:
-        while self._pending_use:
-            ctx, pipeline_index, _, _ = self._pending_use.popleft()
-            self._use(ctx, pipeline_index)
-
-    def _use(self, ctx: Context, pipeline_index: int) -> None:
-        now = self.clock.now()
-        outcome = self.pipelines[pipeline_index].use(ctx, now)
-        for victim in outcome.discarded:
-            self._unschedule(victim)
-        if outcome.delivered:
-            self.delivered.append(ctx)
-
-    def _drain_due_uses(self, now: float) -> None:
-        def head_is_due() -> bool:
-            if not self._pending_use:
-                return False
-            _, _, arrival_index, arrived_at = self._pending_use[0]
-            if self.use_delay is not None:
-                return now >= arrived_at + self.use_delay
-            return self._arrivals - arrival_index >= self.use_window
-
-        while head_is_due():
-            ctx, pipeline_index, _, _ = self._pending_use.popleft()
-            self._use(ctx, pipeline_index)
-
-    def _unschedule(self, ctx: Context) -> None:
-        self._pending_use = deque(
-            entry for entry in self._pending_use if entry[0].ctx_id != ctx.ctx_id
-        )
 
 
 # -- process-mode plumbing ----------------------------------------------------
@@ -399,6 +216,11 @@ class ShardSpec:
     #: Compiled constraint kernels + equality-join candidate indexes
     #: (the ``--no-kernels`` escape hatch turns this off).
     kernels: bool = True
+    #: Apply batches through the amortized runtime batch path
+    #: (:func:`repro.runtime.batch.receive_batch`); ``False`` falls
+    #: back to per-context ``driver.receive`` (the benchmark's A/B
+    #: lever and the ``--no-runtime-batch`` escape hatch).
+    runtime_batch: bool = True
 
     def build(self, telemetry=None) -> ShardPipeline:
         """Rebuild the pipeline; ``telemetry`` overrides the spec flag
@@ -438,13 +260,16 @@ class ShardCheckpoint:
 
     Everything a respawned worker (or the supervisor's in-parent
     degraded lane) needs to resume exactly where the checkpointing
-    worker acked: the strategy instance, the audit log, the pool and
-    its expiry heap, the shard-local driver's clock/window state, and
-    the events published so far.  All fields are picklable plain data
-    -- the unpicklable machinery (checker registry closures, telemetry
-    locks) is rebuilt from the :class:`ShardSpec` on restore, which is
-    sound because the checker keeps no per-context state beyond
-    ``detect_calls``.
+    worker acked: the strategy instance, the audit log, the pool
+    contents, the shard-local driver's clock and
+    :class:`~repro.runtime.scheduler.UseScheduler` snapshot, and the
+    events published so far.  The expiry heap and the checker's
+    candidate indexes are *not* captured: restoring re-adds the pool
+    contents, and both structures rebuild themselves through the pool
+    listeners.  All fields are picklable plain data -- the unpicklable
+    machinery (checker registry closures, telemetry locks) is rebuilt
+    from the :class:`ShardSpec` on restore, which is sound because the
+    checker keeps no per-context state beyond ``detect_calls``.
 
     Because one checkpoint pickles as a single object graph, shared
     ``Context`` references (pool vs. strategy state vs. events) stay
@@ -460,13 +285,11 @@ class ShardCheckpoint:
     log: object  # ResolutionLog; typed loosely to keep imports acyclic
     detect_calls: int
     pool_contexts: List[Context]
-    expiry_heap: List[Tuple[float, int, Context]]
-    heap_seq: int
     arrivals: int
     uses: int
     clock_now: float
-    pending_use: List[Tuple[Context, int, int, float]]
-    driver_arrivals: int
+    #: :meth:`repro.runtime.scheduler.UseScheduler.snapshot` payload.
+    scheduler: Dict[str, object]
     driver_delivered: List[Context]
     events: List[Event]
 
@@ -530,15 +353,14 @@ class ShardExecutionState:
         if hasattr(detector, "detect_calls"):
             detector.detect_calls = ckpt.detect_calls
         for ctx in ckpt.pool_contexts:
+            # Re-adding rebuilds the expiry heap and the checker's
+            # candidate indexes through the pool listeners.
             pipeline.pool.add(ctx)
-        pipeline._expiry_heap = list(ckpt.expiry_heap)
-        pipeline._heap_seq = ckpt.heap_seq
         pipeline.arrivals = ckpt.arrivals
         pipeline.uses = ckpt.uses
         driver = self.driver
         driver.clock.advance_to(ckpt.clock_now)
-        driver._pending_use = deque(ckpt.pending_use)
-        driver._arrivals = ckpt.driver_arrivals
+        driver.scheduler.restore(ckpt.scheduler)
         driver.delivered = list(ckpt.driver_delivered)
         self.events.extend(ckpt.events)
         self.total = ckpt.total
@@ -565,13 +387,10 @@ class ShardExecutionState:
             log=resolution.log,
             detect_calls=getattr(resolution.detector, "detect_calls", 0),
             pool_contexts=pipeline.pool.contents(),
-            expiry_heap=list(pipeline._expiry_heap),
-            heap_seq=pipeline._heap_seq,
             arrivals=pipeline.arrivals,
             uses=pipeline.uses,
             clock_now=driver.clock.now(),
-            pending_use=list(driver._pending_use),
-            driver_arrivals=driver._arrivals,
+            scheduler=driver.scheduler.snapshot(),
             driver_delivered=list(driver.delivered),
             events=list(self.events),
         )
@@ -594,10 +413,20 @@ class ShardExecutionState:
         ):
             batch_started = time.perf_counter()
             half = len(batch) // 2
-            for position, ctx in enumerate(batch):
-                if mid_hook is not None and position == half:
-                    mid_hook()
-                self.driver.receive(ctx)
+            if self.spec.runtime_batch:
+                position_hook = None
+                if mid_hook is not None:
+
+                    def position_hook(position: int) -> None:
+                        if position == half:
+                            mid_hook()
+
+                receive_batch(self.driver, batch, position_hook=position_hook)
+            else:
+                for position, ctx in enumerate(batch):
+                    if mid_hook is not None and position == half:
+                        mid_hook()
+                    self.driver.receive(ctx)
             if self._batch_histogram is not None:
                 self._batch_histogram.observe(
                     time.perf_counter() - batch_started
@@ -801,5 +630,3 @@ def run_shard_supervised(
             )
         except Exception:
             pass  # supervisor will see the dead process instead
-    finally:
-        stop.set()

@@ -1,10 +1,20 @@
 """The middleware manager: the reproduction of the Cabot host.
 
-The manager owns the full pipeline of the paper's experimental setup:
+The manager hosts the full pipeline of the paper's experimental setup:
 
     context source ──▶ receive ──▶ constraint check ──▶ resolution
                                                       strategy plug-in
          applications ◀── deliver ◀── use (context deletion change)
+
+Since ISSUE 5 the life cycle itself lives in :mod:`repro.runtime` --
+one :class:`~repro.runtime.pipeline.ResolutionPipeline` (the pool's
+stage logic) driven by one
+:class:`~repro.runtime.pipeline.PipelineDriver` (clock, use windows,
+draining).  This class is the thin host adapter: it keeps the public
+surface (pool, bus, resolution, subscriptions, plug-in services,
+``receive``/``use``/``flush_uses``) and adds what only the host needs
+-- application subscriptions on deliver and bounded distinct-use
+accounting.
 
 Contexts are *used* by applications a configurable window after their
 arrival (Section 5.3: "the time window, i.e. period before a context
@@ -24,25 +34,13 @@ which degenerates drop-bad into drop-latest behaviour (Section 5.3)
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from ..core.context import Context, ContextState
-from ..core.resolver import InconsistencyDetector, ResolutionService
+from ..core.resolver import InconsistencyDetector
 from ..core.strategy import ResolutionStrategy
-from .bus import (
-    ContextAdmitted,
-    ContextBuffered,
-    ContextDelivered,
-    ContextDiscarded,
-    ContextExpired,
-    ContextMarkedBad,
-    ContextReceived,
-    EventBus,
-    InconsistencyDetected,
-)
+from .bus import EventBus
 from .clock import SimulationClock
-from .pool import ContextPool
 from .service import MiddlewareService, ServiceRegistry
 from .subscription import SubscriptionRegistry
 
@@ -85,34 +83,54 @@ class Middleware:
         bus: Optional[EventBus] = None,
         telemetry=None,
     ) -> None:
-        if use_window < 0:
-            raise ValueError(f"use_window must be >= 0, got {use_window}")
-        if use_delay is not None and use_delay < 0:
-            raise ValueError(f"use_delay must be >= 0, got {use_delay}")
+        # Deferred import: runtime.pipeline imports middleware.bus/
+        # clock/pool, so a module-level import here would cycle when
+        # repro.runtime is imported first.
+        from ..runtime.pipeline import PipelineDriver, ResolutionPipeline
+        from ..runtime.scheduler import BoundedIdSet
+
         self.clock = clock or SimulationClock()
         self.bus = bus or EventBus()
-        self.pool = ContextPool()
-        self.resolution = ResolutionService(detector, strategy)
         self.subscriptions = SubscriptionRegistry()
         self.services = ServiceRegistry()
-        self.use_window = use_window
-        self.use_delay = use_delay
-        self._pending_use: Deque[Tuple[Context, int, float]] = deque()
-        self._arrivals = 0
-        self._used_ids: set = set()
-        if hasattr(detector, "attach_pool"):
-            # Constraint checkers maintain persistent candidate
-            # indexes through pool listeners (see constraints.index).
-            detector.attach_pool(self.pool)
-        self.attach_telemetry(
-            telemetry if telemetry is not None else self.resolution.telemetry
-        )  # NULL bundle until a live one is attached
+        self._pipeline = ResolutionPipeline(
+            detector,
+            strategy,
+            bus=self.bus,
+            telemetry=telemetry,
+            wrapper_spans=True,
+            deliver_hook=self.subscriptions.dispatch,
+        )
+        self._driver = PipelineDriver(
+            [self._pipeline],
+            lambda ctx: 0,
+            use_window=use_window,
+            use_delay=use_delay,
+            clock=self.clock,
+            use_dispatch=self._dispatch_use,
+        )
+        self.pool = self._pipeline.pool
+        self.resolution = self._pipeline.resolution
+        self._used_ids = BoundedIdSet()
+        self._used_count = 0
 
     # -- plug-ins -------------------------------------------------------------
 
     @property
     def strategy(self) -> ResolutionStrategy:
         return self.resolution.strategy
+
+    @property
+    def use_window(self) -> int:
+        return self._driver.use_window
+
+    @property
+    def use_delay(self) -> Optional[float]:
+        return self._driver.use_delay
+
+    @property
+    def telemetry(self):
+        return self._pipeline.telemetry
 
     def plug_in(self, service: MiddlewareService) -> None:
         """Attach a plug-in service (situation engine, metrics, ...)."""
@@ -133,94 +151,38 @@ class Middleware:
     def attach_telemetry(self, telemetry) -> None:
         """Adopt a telemetry bundle across the whole pipeline.
 
-        Wires the bundle into the resolution service (check/resolve
-        stage timers) and the detector (incremental-check spans), so
-        hot-path latencies land in one registry.
+        Wires the bundle into the stage instruments
+        (receive/use/deliver/discard), the resolution service
+        (check/resolve stage timers) and the detector
+        (incremental-check spans), so hot-path latencies land in one
+        registry.
         """
-        self.telemetry = telemetry
-        self.resolution.telemetry = telemetry
-        if hasattr(self.resolution.detector, "telemetry"):
-            self.resolution.detector.telemetry = telemetry
-        # Reusable stage timers: re-entered per context, allocated once.
-        self._stage_receive = telemetry.stage_timer("receive")
-        self._stage_use = telemetry.stage_timer("use")
-        self._stage_deliver = telemetry.stage_timer("deliver")
-        self._stage_discard = telemetry.stage_timer("discard")
+        self._pipeline.attach_telemetry(telemetry)
 
     # -- the context addition change ------------------------------------------
 
     def receive(self, ctx: Context) -> None:
         """Process a context handed over by a context source."""
-        now = max(self.clock.now(), ctx.timestamp)
-        self.clock.advance_to(now)
-        self._expire(now)
-        if self.use_delay is not None:
-            # Time-based window: contexts whose delay elapsed are used
-            # BEFORE the newcomer is checked -- they have left the
-            # checking scope by the time it arrives.
-            self._drain_due_uses(now)
-
-        with self._stage_receive:
-            existing = [
-                c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id
-            ]
-            detected_before = len(self.resolution.log.detected)
-            outcome = self.resolution.handle_addition(ctx, existing, now)
-            self.bus.publish(ContextReceived(at=now, context=ctx))
-            for inconsistency in self.resolution.log.detected[detected_before:]:
-                self.bus.publish(
-                    InconsistencyDetected(at=now, inconsistency=inconsistency)
-                )
-
-            discarded_ids = {c.ctx_id for c in outcome.discarded}
-            if ctx.ctx_id not in discarded_ids:
-                self.pool.add(ctx)
-                self._arrivals += 1
-                self._pending_use.append((ctx, self._arrivals, now))
-            for victim in outcome.discarded:
-                with self._stage_discard:
-                    self.pool.remove(victim)
-                    self._unschedule(victim)
-                    self.bus.publish(ContextDiscarded(at=now, context=victim))
-            for admitted in outcome.admitted:
-                self.bus.publish(ContextAdmitted(at=now, context=admitted))
-            if outcome.buffered:
-                self.bus.publish(ContextBuffered(at=now, context=ctx))
-
-        self._drain_due_uses(now)
+        self._driver.receive(ctx)
 
     def receive_all(self, contexts: Iterable[Context]) -> None:
         """Feed a whole stream, then flush the remaining pending uses."""
-        for ctx in contexts:
-            self.receive(ctx)
-        self.flush_uses()
+        self._driver.receive_all(contexts)
 
     # -- the context deletion (use) change --------------------------------------
 
     def use(self, ctx: Context) -> bool:
         """An application uses ``ctx`` now; returns whether delivered."""
-        now = self.clock.now()
-        self._used_ids.add(ctx.ctx_id)
-        with self._stage_use:
-            outcome = self.resolution.handle_use(ctx, now)
-            for bad in outcome.newly_bad:
-                self.bus.publish(ContextMarkedBad(at=now, context=bad))
-            for victim in outcome.discarded:
-                with self._stage_discard:
-                    self.pool.remove(victim)
-                    self._unschedule(victim)
-                    self.bus.publish(ContextDiscarded(at=now, context=victim))
-            if outcome.delivered:
-                with self._stage_deliver:
-                    self.bus.publish(ContextDelivered(at=now, context=ctx))
-                    self.subscriptions.dispatch(ctx)
-        return outcome.delivered
+        return self._dispatch_use(ctx, 0).delivered
 
     def flush_uses(self) -> None:
         """Use every context still awaiting its window (end of stream)."""
-        while self._pending_use:
-            ctx, _, _ = self._pending_use.popleft()
-            self.use(ctx)
+        self._driver.flush_uses()
+
+    def _dispatch_use(self, ctx: Context, pipeline_index: int):
+        if self._used_ids.add(ctx.ctx_id):
+            self._used_count += 1
+        return self._pipeline.use(ctx, self.clock.now())
 
     # -- queries ---------------------------------------------------------------
 
@@ -235,30 +197,10 @@ class Middleware:
         ]
 
     def used_count(self) -> int:
-        return len(self._used_ids)
+        """Distinct contexts applications have used (bounded memory).
 
-    # -- internals --------------------------------------------------------------
-
-    def _drain_due_uses(self, now: float) -> None:
-        def head_is_due() -> bool:
-            if not self._pending_use:
-                return False
-            _, arrival_index, arrived_at = self._pending_use[0]
-            if self.use_delay is not None:
-                return now >= arrived_at + self.use_delay
-            return self._arrivals - arrival_index >= self.use_window
-
-        while head_is_due():
-            ctx, _, _ = self._pending_use.popleft()
-            self.use(ctx)
-
-    def _unschedule(self, ctx: Context) -> None:
-        self._pending_use = deque(
-            entry for entry in self._pending_use if entry[0].ctx_id != ctx.ctx_id
-        )
-
-    def _expire(self, now: float) -> None:
-        for expired in self.pool.expire(now):
-            self._unschedule(expired)
-            self.resolution.strategy.delta.resolve_involving(expired)
-            self.bus.publish(ContextExpired(at=now, context=expired))
+        Dedup is exact within the :class:`~repro.runtime.scheduler.
+        BoundedIdSet` retention window; memory stays O(window) however
+        long the stream runs.
+        """
+        return self._used_count

@@ -1,0 +1,27 @@
+"""The canonical resolution runtime (ISSUE 5).
+
+One implementation of the paper's receive -> check -> resolve -> use ->
+deliver/discard life cycle, shared by every entry point:
+
+* :class:`~repro.middleware.manager.Middleware` -- the single-pool
+  reproduction host -- is a thin adapter over one
+  :class:`ResolutionPipeline` and one :class:`PipelineDriver`;
+* the engine's ``ShardPipeline``/``StreamDriver``
+  (:mod:`repro.engine.shard`) adapt the same classes per shard, with
+  :class:`UseScheduler` state riding shard checkpoints.
+
+See ``docs/runtime.md`` for the stage/semantics reference.
+"""
+
+from .batch import receive_batch
+from .pipeline import PipelineDriver, ResolutionPipeline
+from .scheduler import BoundedIdSet, ScheduledUse, UseScheduler
+
+__all__ = [
+    "BoundedIdSet",
+    "PipelineDriver",
+    "ResolutionPipeline",
+    "ScheduledUse",
+    "UseScheduler",
+    "receive_batch",
+]

@@ -1,0 +1,396 @@
+"""The canonical resolution pipeline: one lifecycle, every entry point.
+
+The paper's drop-bad life cycle -- receive -> check -> resolve -> use ->
+deliver/discard (Sections 4-5) -- used to be implemented twice: once in
+``middleware/manager.py`` and again in ``engine/shard.py``.  This
+module is now the only place the lifecycle exists; the middleware
+manager and the engine shards are thin adapters over it.
+
+Two classes split the work along the line the sharded engine needs:
+
+* :class:`ResolutionPipeline` -- the per-pool stage logic: the context
+  addition change (check + resolve + publication), the deletion (use)
+  change, heap-guarded expiry, and the telemetry stage instruments
+  (``receive/check/resolve/use/deliver/discard`` -- check/resolve live
+  in :class:`~repro.core.resolver.ResolutionService`).  It is
+  parameterized by detector, strategy, bus, telemetry, and -- once a
+  driver binds it -- a shared clock and :class:`~.scheduler.UseScheduler`.
+* :class:`PipelineDriver` -- the arrival loop over one or more
+  pipelines: the simulation clock, the use scheduler, routing, due-use
+  draining and end-of-stream flushing.  One driver over n pipelines is
+  the inline engine's global schedule; one driver over one pipeline is
+  the single-pool middleware and the shard-local worker schedule.
+
+Expiry is registered through a pool listener, so *every* pool insert
+(including checkpoint restores, which re-add the pool contents) lands
+in the expiry heap; streams of immortal contexts pay O(1) per arrival.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import islice
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.context import Context
+from ..core.resolver import AddOutcome, ResolutionService, UseOutcome
+from ..core.strategy import ResolutionStrategy
+from ..middleware.bus import (
+    ContextAdmitted,
+    ContextBuffered,
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+    ContextMarkedBad,
+    ContextReceived,
+    EventBus,
+    InconsistencyDetected,
+)
+from ..middleware.clock import SimulationClock
+from ..middleware.pool import ContextPool
+from .scheduler import UseScheduler
+
+__all__ = ["ResolutionPipeline", "PipelineDriver"]
+
+
+class _ExpiryListener:
+    """Pool listener feeding the pipeline's expiry heap.
+
+    Registered on the pool at pipeline construction, so direct pool
+    inserts (tests, checkpoint restores) schedule expiry too -- the
+    heap can never miss a context the pool holds.
+    """
+
+    __slots__ = ("_pipeline",)
+
+    def __init__(self, pipeline: "ResolutionPipeline") -> None:
+        self._pipeline = pipeline
+
+    def on_add(self, ctx: Context) -> None:
+        pipeline = self._pipeline
+        if ctx.expiry != float("inf"):
+            pipeline._heap_seq += 1
+            heapq.heappush(
+                pipeline._expiry_heap, (ctx.expiry, pipeline._heap_seq, ctx)
+            )
+
+    def on_remove(self, ctx: Context) -> None:
+        pass  # heap entries for removed contexts are skipped lazily
+
+    def on_clear(self) -> None:
+        pipeline = self._pipeline
+        pipeline._expiry_heap.clear()
+        pipeline._heap_seq = 0
+
+
+class ResolutionPipeline:
+    """One pool's receive/check/resolve/use/expire stage logic.
+
+    Parameters
+    ----------
+    detector:
+        Inconsistency detector (usually a
+        :class:`~repro.constraints.checker.ConstraintChecker`).  A
+        detector with ``attach_pool`` gets the pipeline's pool, so
+        persistent candidate indexes ride the pool listeners.
+    strategy:
+        The resolution strategy plug-in.
+    bus:
+        Event bus for the lifecycle vocabulary; a private one is
+        created when omitted.  Reassignable (the inline engine points
+        all shard pipelines at the engine bus).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle; re-attachable via
+        :meth:`attach_telemetry`.
+    wrapper_spans:
+        ``True`` gives the receive/use wrappers full span+histogram
+        timers (the middleware's observability contract); ``False``
+        records histogram-only observers (the engine's cheaper tier --
+        the interesting sub-work is already spanned inside).
+    deliver_hook:
+        Optional callable invoked with the context inside the deliver
+        stage after the ``ContextDelivered`` event (the middleware's
+        application subscriptions).
+    """
+
+    def __init__(
+        self,
+        detector,
+        strategy: ResolutionStrategy,
+        *,
+        bus: Optional[EventBus] = None,
+        telemetry=None,
+        wrapper_spans: bool = False,
+        deliver_hook: Optional[Callable[[Context], None]] = None,
+    ) -> None:
+        self.pool = ContextPool()
+        self.resolution = ResolutionService(detector, strategy)
+        self.bus = bus if bus is not None else EventBus()
+        self.deliver_hook = deliver_hook
+        self._wrapper_spans = wrapper_spans
+        self._expiry_heap: List[Tuple[float, int, Context]] = []
+        self._heap_seq = 0
+        self.pool.add_listener(_ExpiryListener(self))
+        if hasattr(detector, "attach_pool"):
+            # Constraint checkers maintain persistent candidate indexes
+            # through pool listeners (see constraints.index); restores
+            # that re-add pool contents rebuild them, like the heap.
+            detector.attach_pool(self.pool)
+        #: Use scheduler shared with the driving loop; bound by
+        #: :class:`PipelineDriver`.  Victims and expired contexts are
+        #: unscheduled here so every driver stays consistent.
+        self.scheduler: Optional[UseScheduler] = None
+        if telemetry is None:
+            from ..obs.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self.attach_telemetry(telemetry)
+
+    @property
+    def strategy(self) -> ResolutionStrategy:
+        return self.resolution.strategy
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Adopt a telemetry bundle across the whole pipeline.
+
+        Rebinds the reusable stage instruments (allocated once,
+        re-entered per context), the resolution service's check/resolve
+        timers and the detector's incremental-check spans, so hot-path
+        latencies land in one registry under the canonical stage names.
+        """
+        self.telemetry = telemetry
+        self.resolution.telemetry = telemetry
+        if hasattr(self.resolution.detector, "telemetry"):
+            self.resolution.detector.telemetry = telemetry
+        wrapper = (
+            telemetry.stage_timer
+            if self._wrapper_spans
+            else telemetry.stage_observer
+        )
+        self._stage_receive = wrapper("receive")
+        self._stage_use = wrapper("use")
+        self._stage_deliver = telemetry.stage_timer("deliver")
+        self._stage_discard = telemetry.stage_timer("discard")
+
+    # -- the context addition change ------------------------------------------
+
+    def add(self, ctx: Context, now: float) -> AddOutcome:
+        """Check ``ctx`` against the pool and apply the strategy.
+
+        Publishes the arrival events, admits the survivor into the
+        pool, evicts and unschedules the victims.  The caller schedules
+        the context for use iff it survived
+        (``ctx not in outcome.discarded``).
+        """
+        with self._stage_receive:
+            existing = [
+                c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id
+            ]
+            detected_before = len(self.resolution.log.detected)
+            outcome = self.resolution.handle_addition(ctx, existing, now)
+            self.bus.publish(ContextReceived(at=now, context=ctx))
+            for inconsistency in self.resolution.log.detected[detected_before:]:
+                self.bus.publish(
+                    InconsistencyDetected(at=now, inconsistency=inconsistency)
+                )
+
+            discarded_ids = {c.ctx_id for c in outcome.discarded}
+            if ctx.ctx_id not in discarded_ids:
+                self.pool.add(ctx)
+            for victim in outcome.discarded:
+                with self._stage_discard:
+                    self.pool.remove(victim)
+                    if self.scheduler is not None:
+                        self.scheduler.discard(victim.ctx_id)
+                    self.bus.publish(ContextDiscarded(at=now, context=victim))
+            for admitted in outcome.admitted:
+                self.bus.publish(ContextAdmitted(at=now, context=admitted))
+            if outcome.buffered:
+                self.bus.publish(ContextBuffered(at=now, context=ctx))
+        return outcome
+
+    # -- the context deletion (use) change --------------------------------------
+
+    def use(self, ctx: Context, now: float) -> UseOutcome:
+        """An application uses ``ctx``; deliver or discard per strategy."""
+        with self._stage_use:
+            outcome = self.resolution.handle_use(ctx, now)
+            for bad in outcome.newly_bad:
+                self.bus.publish(ContextMarkedBad(at=now, context=bad))
+            for victim in outcome.discarded:
+                with self._stage_discard:
+                    self.pool.remove(victim)
+                    if self.scheduler is not None:
+                        self.scheduler.discard(victim.ctx_id)
+                    self.bus.publish(ContextDiscarded(at=now, context=victim))
+            if outcome.delivered:
+                with self._stage_deliver:
+                    self.bus.publish(ContextDelivered(at=now, context=ctx))
+                    if self.deliver_hook is not None:
+                        self.deliver_hook(ctx)
+        return outcome
+
+    # -- expiry -------------------------------------------------------------
+
+    def next_expiry(self) -> float:
+        """Earliest possible pending expiry time (``inf`` when none).
+
+        Lazily drops heap entries whose context already left the pool,
+        so batch paths can use the returned bound directly.
+        """
+        heap = self._expiry_heap
+        while heap and self.pool.get(heap[0][2].ctx_id) is None:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else float("inf")
+
+    def expire_due(self, now: float) -> List[Context]:
+        """Remove every pooled context whose availability period passed.
+
+        The heap makes the no-expiry case O(1); entries for contexts
+        that were discarded first are skipped lazily.  Expired contexts
+        are unscheduled, their pending inconsistencies resolved, and
+        ``ContextExpired`` published.
+        """
+        expired: List[Context] = []
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= now:
+            _, _, ctx = heapq.heappop(heap)
+            live = self.pool.get(ctx.ctx_id)
+            if live is None:
+                continue
+            self.pool.remove(live)
+            if self.scheduler is not None:
+                self.scheduler.discard(live.ctx_id)
+            self.resolution.strategy.delta.resolve_involving(live)
+            self.bus.publish(ContextExpired(at=now, context=live))
+            expired.append(live)
+        return expired
+
+
+class PipelineDriver:
+    """The arrival loop: clock + use scheduler over routed pipelines.
+
+    Reproduces the window bookkeeping of the historical
+    ``Middleware.receive`` -- the shared clock, the admitted-arrival
+    counter, both window semantics, and the ordering of expiry,
+    draining, checking and use around each arrival -- while the
+    per-context pool work happens in whichever pipeline ``route``
+    selects.
+
+    Parameters
+    ----------
+    pipelines:
+        The pipelines this driver schedules; their ``scheduler``
+        binding is taken over.
+    route:
+        Maps a context to a pipeline index.
+    use_window, use_delay:
+        Window semantics (see :class:`~.scheduler.UseScheduler`).
+    clock:
+        Optionally injected simulation clock (shared across hosts).
+    use_dispatch:
+        Optional override of the use step: called as ``fn(ctx,
+        pipeline_index)`` and must return the
+        :class:`~repro.core.strategy.UseOutcome`.  The middleware hooks
+        its distinct-use accounting here.
+    """
+
+    def __init__(
+        self,
+        pipelines: Sequence[ResolutionPipeline],
+        route: Callable[[Context], int],
+        *,
+        use_window: int = 4,
+        use_delay: Optional[float] = None,
+        clock: Optional[SimulationClock] = None,
+        use_dispatch: Optional[Callable[[Context, int], UseOutcome]] = None,
+    ) -> None:
+        self.pipelines = list(pipelines)
+        self.route = route
+        self.clock = clock if clock is not None else SimulationClock()
+        self.scheduler = UseScheduler(
+            use_window=use_window, use_delay=use_delay
+        )
+        for pipeline in self.pipelines:
+            pipeline.scheduler = self.scheduler
+        self._use_dispatch = (
+            use_dispatch if use_dispatch is not None else self._use_pipeline
+        )
+        #: Contexts delivered through this driver, in decision order.
+        self.delivered: List[Context] = []
+
+    @property
+    def use_window(self) -> int:
+        return self.scheduler.use_window
+
+    @property
+    def use_delay(self) -> Optional[float]:
+        return self.scheduler.use_delay
+
+    # -- arrivals -----------------------------------------------------------
+
+    def receive(self, ctx: Context) -> None:
+        """Process one arrival: expiry, due drains, check, schedule."""
+        now = max(self.clock.now(), ctx.timestamp)
+        self.clock.advance_to(now)
+        for pipeline in self.pipelines:
+            pipeline.expire_due(now)
+        if self.scheduler.use_delay is not None:
+            # Time-based window: contexts whose delay elapsed are used
+            # BEFORE the newcomer is checked -- they have left the
+            # checking scope by the time it arrives.
+            self.drain_due_uses(now)
+
+        pipeline_index = self.route(ctx)
+        outcome = self.pipelines[pipeline_index].add(ctx, now)
+        if ctx.ctx_id not in {c.ctx_id for c in outcome.discarded}:
+            self.scheduler.schedule(ctx, pipeline_index, now)
+
+        self.drain_due_uses(now)
+
+    def receive_all(self, contexts: Iterable[Context]) -> None:
+        """Feed a whole stream, then flush the remaining pending uses.
+
+        Streams through :func:`~repro.runtime.batch.receive_batch` in
+        bounded chunks, so lazy trace readers keep O(chunk) memory
+        while amortizing the batch path's sweep guards.
+        """
+        from .batch import receive_batch  # local import: cycle
+
+        iterator = iter(contexts)
+        while True:
+            chunk = list(islice(iterator, 256))
+            if not chunk:
+                break
+            receive_batch(self, chunk)
+        self.flush_uses()
+
+    # -- uses ---------------------------------------------------------------
+
+    def _use_pipeline(self, ctx: Context, pipeline_index: int) -> UseOutcome:
+        return self.pipelines[pipeline_index].use(ctx, self.clock.now())
+
+    def use_scheduled(self, ctx: Context, pipeline_index: int) -> UseOutcome:
+        """Apply one scheduled use through the dispatch hook."""
+        outcome = self._use_dispatch(ctx, pipeline_index)
+        if outcome.delivered:
+            self.delivered.append(ctx)
+        return outcome
+
+    def drain_due_uses(self, now: float) -> None:
+        """Use every head-of-queue context whose window elapsed."""
+        scheduler = self.scheduler
+        while True:
+            entry = scheduler.pop_due(now)
+            if entry is None:
+                return
+            self.use_scheduled(entry.ctx, entry.payload)
+
+    def flush_uses(self) -> None:
+        """Use every context still awaiting its window (end of stream)."""
+        scheduler = self.scheduler
+        while True:
+            entry = scheduler.pop_next()
+            if entry is None:
+                return
+            self.use_scheduled(entry.ctx, entry.payload)

@@ -1,0 +1,147 @@
+"""Deterministic stream/constraint generators for the runtime goldens.
+
+Shared by the one-off golden recorder (``record_goldens.py``, run against
+the pre-refactor seed tree) and the permanent equivalence suite
+(``test_golden_equivalence.py``).  Everything here must stay byte-stable:
+the goldens were recorded from these exact generators, so changing a
+seed, a bound or a distribution invalidates them.
+
+The trial matrix deliberately covers the whole window/expiry space the
+refactor must preserve:
+
+* count-based windows 0..6 (including the zero-window degeneration of
+  drop-bad into drop-latest, Section 5.3);
+* time-based windows (``use_delay`` 0.0/2.0/6.0);
+* finite lifespans (5s/12s) interleaved with immortal contexts, so
+  expiry sweeps fire mid-stream;
+* all four deterministic strategies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+
+TYPES = ("loc", "badge", "rfid", "temp", "free1", "free2")
+SUBJECTS = ("s1", "s2", "s3")
+STRATEGIES = ("drop-latest", "drop-all", "drop-bad", "opt-r")
+LIFESPANS = (float("inf"), 5.0, 12.0)
+
+#: Number of generated-stream trials (the acceptance floor is 200).
+N_TRIALS = 220
+
+
+def make_constraints(rng: random.Random):
+    """Two independent scope groups with randomized tightness."""
+    constraints = []
+    for group, (t1, t2) in enumerate((("loc", "badge"), ("rfid", "temp"))):
+        for i in range(rng.randint(1, 2)):
+            bound = rng.choice((3.0, 5.0))
+            constraints.append(
+                parse_constraint(
+                    f"g{group}c{i}",
+                    f"forall a in {t1}, forall b in {t2} : "
+                    f"same_subject(a, b) implies within_time(a, b, {bound})",
+                )
+            )
+    return constraints
+
+
+def make_stream(rng: random.Random, n: int = 40) -> List[Context]:
+    """A timestamp-sorted stream mixing constrained/unconstrained types."""
+    contexts = []
+    t = 0.0
+    for i in range(n):
+        t += rng.random() * 2.0
+        contexts.append(
+            Context(
+                ctx_id=f"c{i}",
+                ctx_type=rng.choice(TYPES),
+                subject=rng.choice(SUBJECTS),
+                value=float(i),
+                timestamp=t,
+                lifespan=rng.choice(LIFESPANS),
+                corrupted=rng.random() < 0.15,
+            )
+        )
+    return contexts
+
+
+def trial_params(seed: int) -> Dict[str, object]:
+    """The (strategy, window) configuration of generated trial ``seed``."""
+    rng = random.Random(seed * 7919 + 13)
+    strategy = STRATEGIES[seed % len(STRATEGIES)]
+    use_delay: Optional[float]
+    if seed % 3 == 2:
+        use_window, use_delay = 4, rng.choice((0.0, 2.0, 6.0))
+    else:
+        use_window, use_delay = seed % 7, None
+    return {
+        "seed": seed,
+        "strategy": strategy,
+        "use_window": use_window,
+        "use_delay": use_delay,
+    }
+
+
+def trial_inputs(seed: int) -> Tuple[list, List[Context], Dict[str, object]]:
+    """(constraints, stream, params) of generated trial ``seed``."""
+    rng = random.Random(seed)
+    return make_constraints(rng), make_stream(rng), trial_params(seed)
+
+
+def signature(delivered_ids: List[str], discarded_ids: List[str]) -> str:
+    """Canonical, order-sensitive digest of one run's decisions."""
+    blob = json.dumps(
+        {"delivered": delivered_ids, "discarded": discarded_ids},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- application streams ------------------------------------------------------
+
+#: (app key, strategy, use_window, workload kwargs).  Streams are kept
+#: small so the full mode x kernels matrix stays test-suite friendly.
+APP_CASES = (
+    ("call-forwarding", "drop-bad", 10, {"duration": 120.0}),
+    ("rfid", "drop-bad", 20, {"items": 6}),
+    ("smart-phone", "drop-bad", 8, {"days": 1}),
+)
+
+APP_ERR_RATE = 0.3
+APP_SEED = 5
+APP_SHARDS = 3
+
+
+def build_app(app_key: str):
+    from repro.apps import CallForwardingApp, RFIDAnomaliesApp, SmartPhoneApp
+
+    return {
+        "call-forwarding": CallForwardingApp,
+        "rfid": RFIDAnomaliesApp,
+        "smart-phone": SmartPhoneApp,
+    }[app_key]()
+
+
+def app_inputs(app_key: str):
+    """(constraints, registry_factory, stream, strategy, use_window)."""
+    for key, strategy, use_window, kwargs in APP_CASES:
+        if key == app_key:
+            app = build_app(app_key)
+            stream = app.generate_workload(APP_ERR_RATE, APP_SEED, **kwargs)
+            checker = app.build_checker()
+            return (
+                checker.constraints(),
+                app.build_registry,
+                stream,
+                strategy,
+                use_window,
+            )
+    raise KeyError(app_key)

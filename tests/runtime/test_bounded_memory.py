@@ -1,0 +1,67 @@
+"""Bounded-memory regression: a 50k-context stream must not leak.
+
+The historical ``Middleware._used_ids`` was an unbounded set -- one
+entry per context ever used, forever.  The manager now counts distinct
+uses through a :class:`repro.runtime.scheduler.BoundedIdSet`; this
+test streams 50k contexts and asserts the retained-id structure stays
+bounded while the distinct-use count stays exact.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.checker import ConstraintChecker
+from repro.core.context import Context
+from repro.core.strategy import make_strategy
+from repro.middleware.bus import ContextDelivered
+from repro.middleware.manager import Middleware
+
+N_CONTEXTS = 50_000
+
+
+def stream(n: int):
+    for i in range(n):
+        ts = float(i)
+        yield Context(
+            ctx_id=f"c{i}",
+            ctx_type="reading",
+            subject=f"s{i % 7}",
+            value=i,
+            timestamp=ts,
+            lifespan=8.0,  # keeps the pool small across 50k arrivals
+        )
+
+
+class TestBoundedUsedIds:
+    def test_50k_stream_keeps_id_memory_bounded(self):
+        middleware = Middleware(
+            ConstraintChecker([]), make_strategy("drop-bad"), use_window=4
+        )
+        delivered = 0
+
+        def count(_event):
+            nonlocal delivered
+            delivered += 1
+
+        middleware.bus.subscribe(ContextDelivered, count)
+        middleware.receive_all(stream(N_CONTEXTS))
+
+        # With no constraints nothing is ever discarded: every used
+        # context is delivered, and the distinct-use count must match.
+        assert delivered > 0
+        assert middleware.used_count() == delivered
+        # The retained-id structure is the bounded set, not one entry
+        # per context ever seen.
+        assert len(middleware._used_ids) <= middleware._used_ids.maxlen
+        assert middleware._used_ids.maxlen < N_CONTEXTS
+
+    def test_double_use_still_counts_once(self):
+        middleware = Middleware(
+            ConstraintChecker([]), make_strategy("drop-bad"), use_window=2
+        )
+        ctx = Context(
+            ctx_id="x", ctx_type="reading", subject="s", value=0, timestamp=0.0
+        )
+        middleware.receive(ctx)
+        middleware.use(ctx)
+        middleware.use(ctx)
+        assert middleware.used_count() == 1

@@ -1,0 +1,117 @@
+"""Shard checkpoints round-trip the use-scheduler state.
+
+The checkpoint no longer carries a raw pending-use deque or a pickled
+expiry heap: it snapshots the
+:class:`~repro.runtime.scheduler.UseScheduler` and relies on pool
+listeners to rebuild the expiry heap (and the checker's candidate
+indexes) when the pool contents are re-added on restore.  These tests
+pin both halves: the scheduler snapshot survives a pickle round-trip
+with its window arithmetic intact, and a resumed shard finishes with
+decisions identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.constraints.ast import Constraint, forall, pred
+from repro.core.context import Context
+from repro.engine.shard import ShardExecutionState, ShardSpec
+
+
+def _constraint() -> Constraint:
+    return Constraint(
+        name="same-subject-window",
+        formula=forall(
+            "a",
+            "loc",
+            forall(
+                "b",
+                "badge",
+                pred("same_subject", "a", "b").implies(
+                    pred("within_time", "a", "b", 3.0)
+                ),
+            ),
+        ),
+    )
+
+
+def _stream(n: int = 40):
+    out = []
+    for i in range(n):
+        ts = float(i)
+        out.append(
+            Context(
+                ctx_id=f"c{i}",
+                ctx_type="loc" if i % 2 == 0 else "badge",
+                subject=f"s{i % 3}",
+                value=i,
+                timestamp=ts,
+                lifespan=15.0 if i % 4 == 0 else float("inf"),
+            )
+        )
+    return out
+
+
+def _batches(stream, size=8):
+    return [stream[i : i + size] for i in range(0, len(stream), size)]
+
+
+class TestSchedulerCheckpointRoundTrip:
+    def test_snapshot_rides_the_checkpoint_and_restores(self):
+        spec = ShardSpec(
+            shard_id=0, constraints=(_constraint(),), strategy="drop-bad",
+            use_window=12,
+        )
+        stream = _stream()
+        batches = _batches(stream)
+
+        state = ShardExecutionState(spec)
+        for i, batch in enumerate(batches[:3]):
+            state.process_batch(i, batch)
+        before = state.driver.scheduler
+        assert len(before) > 0, "window must leave uses pending mid-stream"
+
+        blob = pickle.dumps(state.checkpoint())
+        ckpt = pickle.loads(blob)
+        assert ckpt.scheduler["arrivals"] == before.arrivals
+
+        resumed = ShardExecutionState(spec, checkpoint=ckpt)
+        after = resumed.driver.scheduler
+        assert after.arrivals == before.arrivals
+        assert [c.ctx_id for c in after.pending()] == [
+            c.ctx_id for c in before.pending()
+        ]
+        # The expiry heap is rebuilt from the re-added pool contents,
+        # not shipped in the checkpoint.
+        assert resumed.pipeline.next_expiry() == state.pipeline.next_expiry()
+
+    def test_resumed_run_matches_uninterrupted(self):
+        spec = ShardSpec(
+            shard_id=0, constraints=(_constraint(),), strategy="drop-bad",
+            use_window=12,
+        )
+        stream = _stream()
+        batches = _batches(stream)
+
+        reference = ShardExecutionState(spec)
+        for i, batch in enumerate(batches):
+            reference.process_batch(i, batch)
+        expected = reference.finish()
+
+        first = ShardExecutionState(spec)
+        for i, batch in enumerate(batches[:3]):
+            first.process_batch(i, batch)
+        blob = pickle.dumps(first.checkpoint())
+
+        resumed = ShardExecutionState(spec, checkpoint=pickle.loads(blob))
+        for i, batch in enumerate(batches):
+            resumed.process_batch(i, batch)  # replayed prefix is a no-op
+        actual = resumed.finish()
+
+        assert [c.ctx_id for c in actual.delivered] == [
+            c.ctx_id for c in expected.delivered
+        ]
+        assert [c.ctx_id for c in actual.discarded] == [
+            c.ctx_id for c in expected.discarded
+        ]
