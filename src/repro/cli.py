@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro trace replay stream.jsonl --strategy drop-bad
     python -m repro engine run rfid --shards 4 --strategy drop-bad
     python -m repro engine bench --shards 1 2 4 --contexts 2000
+    python -m repro serve rfid --port 8600 --rate 500
+    python -m repro loadgen rfid --rates 200 500 1000 --contexts 500
     python -m repro obs summary benchmarks/out/TELEMETRY_engine_bench.json
     python -m repro obs export benchmarks/out/TELEMETRY_engine_bench.json --format prom
     python -m repro obs spans benchmarks/out/TELEMETRY_engine_bench.json --top 5
@@ -21,7 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .apps.call_forwarding import CallForwardingApp
 from .apps.rfid_anomalies import RFIDAnomaliesApp
@@ -189,6 +191,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-telemetry",
         action="store_true",
         help="skip telemetry instrumentation and the sidecar",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the async ingestion front-door"
+    )
+    serve.add_argument("app", choices=sorted(_APPS))
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8600)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument(
+        "--strategy", default="drop-bad", choices=strategy_names()
+    )
+    serve.add_argument("--window", type=int, default=None)
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="admission rate limit in contexts/second (default: none)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="token-bucket burst capacity (default: 1s of --rate)",
+    )
+    serve.add_argument("--max-queue-depth", type=int, default=4096)
+    serve.add_argument("--batch-max-size", type=int, default=64)
+    serve.add_argument("--batch-max-delay", type=float, default=0.005)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="open-loop load sweep against the front-door"
+    )
+    loadgen.add_argument("app", choices=sorted(_APPS))
+    loadgen.add_argument(
+        "--rates", type=float, nargs="+", default=[200.0, 500.0, 1000.0]
+    )
+    loadgen.add_argument("--contexts", type=int, default=500)
+    loadgen.add_argument("--err", type=float, default=0.3)
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument("--shards", type=int, default=2)
+    loadgen.add_argument(
+        "--strategy", default="drop-bad", choices=strategy_names()
+    )
+    loadgen.add_argument(
+        "--admission-rate",
+        type=float,
+        default=None,
+        help="server-side admission rate limit (default: none)",
+    )
+    loadgen.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also merge the sweep record into a BENCH_serve.json file",
     )
 
     obs = commands.add_parser(
@@ -433,6 +489,76 @@ def _cmd_engine(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from .obs import Telemetry
+    from .serve import IngestServer, IngestService, ServeConfig
+    from .serve.loadgen import build_app_engine
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            rate=args.rate,
+            burst=args.burst,
+            max_queue_depth=args.max_queue_depth,
+            batch_max_size=args.batch_max_size,
+            batch_max_delay=args.batch_max_delay,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    telemetry = Telemetry(enabled=True)
+    engine = build_app_engine(
+        args.app,
+        shards=args.shards,
+        strategy=args.strategy,
+        use_window=args.window,
+        telemetry=telemetry,
+    )
+    service = IngestService(engine, config=config, telemetry=telemetry)
+    server = IngestServer(service)
+    print(
+        f"serving {args.app} on http://{config.host}:{config.port} "
+        f"({args.shards} shard(s), {args.strategy}); Ctrl-C drains",
+        file=out,
+    )
+    report = asyncio.run(server.run())
+    print(
+        f"drained: {report['admitted']} admitted, "
+        f"{report['delivered']} delivered, {report['discarded']} discarded, "
+        f"{report['expired']} expired, {report['lost']} lost",
+        file=out,
+    )
+    return 0 if report["lost"] == 0 else 1
+
+
+def _cmd_loadgen(args, out) -> int:
+    from .serve import ServeConfig
+    from .serve.loadgen import format_sweep, run_sweep
+
+    try:
+        record = run_sweep(
+            args.app,
+            args.rates,
+            n_contexts=args.contexts,
+            err_rate=args.err,
+            seed=args.seed,
+            shards=args.shards,
+            strategy=args.strategy,
+            serve_config=ServeConfig(rate=args.admission_rate),
+            json_path=args.json,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_sweep(record), file=out)
+    if args.json:
+        print(f"record merged into {args.json}", file=out)
+    return 0
+
+
 def _cmd_obs(args, out) -> int:
     from .obs import (
         json_text,
@@ -487,6 +613,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "engine":
         return _cmd_engine(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args, out)
     if args.command == "obs":
         return _cmd_obs(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -30,6 +30,7 @@ from .shard import (
     ShardSpec,
     run_shard_substream,
 )
+from .stream import EngineStream
 from .supervisor import EngineWorkerError, ShardSupervisor
 from .workload import run_scalability_bench, scalability_workload
 
@@ -37,6 +38,7 @@ __all__ = [
     "EngineConfig",
     "FaultConfig",
     "ShardedEngine",
+    "EngineStream",
     "EngineWorkerError",
     "ShardSupervisor",
     "EngineResult",

@@ -144,6 +144,22 @@ class ShardedEngine:
             for shard_id in range(self.config.shards)
         ]
 
+    # -- open sessions -------------------------------------------------------
+
+    def open_stream(self, *, telemetry: Optional[Telemetry] = None):
+        """Open a push-style inline session (the serving entrypoint).
+
+        Returns an :class:`~repro.engine.stream.EngineStream`: arrivals
+        are submitted incrementally in batches, pending uses survive
+        between submissions, and ``close()`` performs the end-of-stream
+        flush.  Decisions are byte-identical to :meth:`run` over the
+        same concatenated stream in inline mode.  ``telemetry``
+        overrides the engine's bundle for this session.
+        """
+        from .stream import EngineStream  # local import: cycle
+
+        return EngineStream(self, telemetry=telemetry)
+
     # -- running -------------------------------------------------------------
 
     def run(self, contexts: Iterable[Context]) -> EngineResult:

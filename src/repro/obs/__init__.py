@@ -19,6 +19,7 @@ The observability layer the performance work reads its numbers from
 from .exporters import json_text, prometheus_text, registry_prometheus
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
+    FINE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -37,6 +38,7 @@ from .tracer import SpanRecord, SpanTracer
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "FINE_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "FINE_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -54,6 +55,36 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.5,
     1.0,
     2.5,
+)
+
+#: Fine-grained latency buckets (seconds): 10us .. 10s on a 1-2-5
+#: ladder.  The default buckets above are throughput-oriented (the
+#: coarse top end suits whole-batch timings); the serving subsystem's
+#: ingest->decision percentiles live well under a millisecond at low
+#: load and need the sub-100us resolution, while sustained-load tails
+#: can stretch past the default 2.5s ceiling.  Pass these (or any
+#: custom ladder) through the ``buckets`` parameter -- the default
+#: layout is unchanged, so existing snapshots keep merging.
+FINE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00001,
+    0.00002,
+    0.00005,
+    0.0001,
+    0.0002,
+    0.0005,
+    0.001,
+    0.002,
+    0.005,
+    0.01,
+    0.02,
+    0.05,
+    0.1,
+    0.2,
+    0.5,
+    1.0,
+    2.0,
+    5.0,
+    10.0,
 )
 
 #: Canonical label-set key: sorted tuple of (key, value) pairs.

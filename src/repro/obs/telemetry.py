@@ -25,12 +25,12 @@ histogram, so traces and metrics never disagree about what was timed.
 from __future__ import annotations
 
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 from .registry import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
 from .tracer import SpanTracer
 
-__all__ = ["Telemetry", "NULL_TELEMETRY", "STAGE_HISTOGRAM"]
+__all__ = ["Telemetry", "NULL_TELEMETRY", "NULL_HISTOGRAM", "STAGE_HISTOGRAM"]
 
 #: Family name of the per-stage latency histogram.
 STAGE_HISTOGRAM = "repro_stage_seconds"
@@ -134,8 +134,38 @@ class _NullTimer:
 _NULL_TIMER = _NullTimer()
 
 
+class _NullHistogram:
+    """Observation sink for disabled bundles (shared, never recorded)."""
+
+    __slots__ = ()
+    buckets: tuple = ()
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+
+#: Shared no-op histogram handed out by disabled bundles.
+NULL_HISTOGRAM = _NullHistogram()
+
+
 class Telemetry:
-    """One registry + one tracer; enabled or a cheap no-op."""
+    """One registry + one tracer; enabled or a cheap no-op.
+
+    ``stage_buckets`` overrides the bucket boundaries of the
+    ``repro_stage_seconds`` histograms this bundle creates; the default
+    (``None``) keeps :data:`~repro.obs.registry.DEFAULT_LATENCY_BUCKETS`,
+    so existing sidecars and process-mode snapshots merge unchanged.
+    Latency-sensitive surfaces (the serving front-door) pass
+    :data:`~repro.obs.registry.FINE_LATENCY_BUCKETS` for sub-millisecond
+    percentile resolution.  The layout is fixed per registry at first
+    use -- mixing bundles with different stage buckets over one shared
+    registry keeps the first layout (the family contract).
+    """
 
     def __init__(
         self,
@@ -144,6 +174,7 @@ class Telemetry:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
         ring_size: int = 4096,
+        stage_buckets: Optional[Sequence[float]] = None,
     ) -> None:
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -151,6 +182,11 @@ class Telemetry:
             tracer
             if tracer is not None
             else SpanTracer(enabled=enabled, ring_size=ring_size)
+        )
+        self.stage_buckets = (
+            tuple(float(b) for b in stage_buckets)
+            if stage_buckets is not None
+            else None
         )
         self._stage_histograms: Dict[str, Histogram] = {}
 
@@ -183,10 +219,34 @@ class Telemetry:
                 STAGE_HISTOGRAM,
                 help="Per-stage pipeline latency (seconds)",
                 labels={"stage": stage},
-                buckets=DEFAULT_LATENCY_BUCKETS,
+                buckets=self.stage_buckets or DEFAULT_LATENCY_BUCKETS,
             )
             self._stage_histograms[stage] = histogram
         return histogram
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+    ):
+        """A registry histogram, or the shared no-op when disabled.
+
+        The bundle-level counterpart of :meth:`count`: components hold
+        the returned instrument and ``observe`` into it on the hot path
+        without re-checking ``enabled``.  ``buckets`` fixes the
+        family's boundaries on first use (later calls reuse them).
+        """
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self.registry.histogram(
+            name,
+            help=help,
+            labels=labels,
+            buckets=buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS,
+        )
 
     def stage(self, stage: str, **attrs: object):
         """Time one pipeline stage: span ``stage.<stage>`` + histogram."""

@@ -1,0 +1,47 @@
+"""Async ingestion front-door for the sharded resolution engine.
+
+Everything below :mod:`repro.engine` is closed-loop: a whole stream is
+materialized, fed through, and measured in contexts/second.  Production
+serving is the opposite shape -- concurrent clients push sustained
+traffic and the number that matters is resolution latency at a target
+arrival rate.  This package is that front-door (docs/serving.md):
+
+* :class:`AdmissionController` -- token-bucket rate limiting plus
+  queue-depth shedding, with explicit shed verdicts (HTTP 429) and
+  ``serve_shed_total{reason=...}`` accounting;
+* :class:`SourceSequencer` -- per-source FIFO release: each sensor's
+  contexts enter the engine in its own submission order while distinct
+  sources interleave freely;
+* :class:`AdaptiveBatcher` -- coalesces admitted arrivals into engine
+  batches under a max-size / max-linger policy, riding the amortized
+  :func:`repro.runtime.batch.receive_batch` arrival path;
+* :class:`IngestService` -- the transport-agnostic core wiring the
+  three into an open :class:`~repro.engine.stream.EngineStream`, with
+  ingest->decision / ingest->delivery latency histograms and a
+  zero-loss drain for graceful shutdown;
+* :class:`IngestServer` (:mod:`repro.serve.http`) -- stdlib asyncio
+  HTTP/1.1 + WebSocket transport over the service;
+* :mod:`repro.serve.loadgen` -- the open-loop (constant-rate) load
+  generator behind ``repro loadgen`` and ``BENCH_serve.json``.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .batcher import AdaptiveBatcher
+from .config import ServeConfig
+from .http import HttpClient, IngestServer, WsClient
+from .sequencer import SequenceError, SourceSequencer
+from .service import IngestService, SubmitResult
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "AdaptiveBatcher",
+    "ServeConfig",
+    "SequenceError",
+    "SourceSequencer",
+    "IngestService",
+    "SubmitResult",
+    "IngestServer",
+    "HttpClient",
+    "WsClient",
+]

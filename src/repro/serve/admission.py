@@ -1,0 +1,176 @@
+"""Admission control: token-bucket rate limiting + queue-depth shedding.
+
+The front-door's reliability argument is the paper's drop-bad argument
+transposed to arrival time: resolution only protects applications if
+it keeps up with live arrivals, so an overloaded server must *shed
+explicitly* (HTTP 429, counted per reason) rather than queue without
+bound and let latency diverge.  Two independent guards:
+
+* **rate** -- a token bucket refilled at ``rate`` contexts/second with
+  ``burst`` capacity.  Smooth traffic at or under the rate is never
+  shed; bursts borrow from the bucket and only the excess is refused.
+* **depth** -- a cap on admitted-but-undecided contexts.  The batcher
+  and engine queue sit behind admission; if the engine falls behind,
+  depth (not client patience) is what bounds front-door memory and
+  worst-case queueing latency.
+
+A closed controller (graceful shutdown) sheds everything with reason
+``closed`` so in-flight clients get a deterministic verdict while the
+already-admitted backlog drains to zero loss.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..obs.telemetry import Telemetry
+
+__all__ = ["TokenBucket", "AdmissionController", "SHED_RATE", "SHED_DEPTH", "SHED_CLOSED"]
+
+#: Shed reasons (the ``reason`` label of ``serve_shed_total``).
+SHED_RATE = "rate"
+SHED_DEPTH = "depth"
+SHED_CLOSED = "closed"
+
+
+class TokenBucket:
+    """Classic token bucket over a monotonic clock.
+
+    ``clock`` is injectable for deterministic tests; production uses
+    ``time.monotonic``.  Not thread-safe -- the front-door runs on one
+    event loop.
+    """
+
+    __slots__ = ("rate", "capacity", "_tokens", "_updated", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._tokens = float(capacity)
+        self._clock = clock
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; never blocks."""
+        self._refill(self._clock())
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def available(self) -> float:
+        """Current token count (after refill), for stats."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class AdmissionController:
+    """Admit or shed each arrival; account every verdict.
+
+    Parameters
+    ----------
+    rate, burst:
+        Token-bucket parameters; ``rate=None`` disables rate shedding.
+    max_queue_depth:
+        Depth guard over the caller-reported backlog (see
+        :meth:`admit`).
+    telemetry:
+        Bundle receiving ``serve_admitted_total`` and
+        ``serve_shed_total{reason=...}``.
+    clock:
+        Injectable monotonic clock shared with the bucket.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: Optional[float] = None,
+        burst: float = 1.0,
+        max_queue_depth: int = 4096,
+        telemetry: Optional[Telemetry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.bucket = (
+            TokenBucket(rate, burst, clock) if rate is not None else None
+        )
+        self.max_queue_depth = max_queue_depth
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.closed = False
+        self.admitted = 0
+        #: Shed counts by reason; non-admission reasons (``order``)
+        #: land here too via :meth:`revoke`.
+        self.shed: Dict[str, int] = {SHED_RATE: 0, SHED_DEPTH: 0, SHED_CLOSED: 0}
+
+    def admit(self, queue_depth: int) -> Optional[str]:
+        """One admission verdict: ``None`` admits, else the shed reason.
+
+        ``queue_depth`` is the caller's current admitted-but-undecided
+        backlog; the controller itself is stateless about it so the
+        service can count batcher + queue + in-flight without the two
+        classes sharing structure.
+        """
+        if self.closed:
+            return self._shed(SHED_CLOSED)
+        if queue_depth >= self.max_queue_depth:
+            return self._shed(SHED_DEPTH)
+        if self.bucket is not None and not self.bucket.try_acquire():
+            return self._shed(SHED_RATE)
+        self.admitted += 1
+        self.telemetry.count("serve_admitted_total", help="Contexts admitted")
+        return None
+
+    def _shed(self, reason: str) -> str:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        self.telemetry.count(
+            "serve_shed_total",
+            labels={"reason": reason},
+            help="Contexts shed at admission",
+        )
+        return reason
+
+    def revoke(self, reason: str) -> str:
+        """Convert one just-admitted arrival into a shed (e.g. a
+        sequencing violation discovered after the rate gate).  The
+        monotonic ``serve_admitted_total`` counter is not rewound --
+        Prometheus semantics -- but the revocation is counted, so
+        ``admitted_total - admitted_revoked_total`` is the net figure;
+        the integer :attr:`admitted` used by stats() is net already.
+        """
+        self.admitted -= 1
+        self.telemetry.count(
+            "serve_admitted_revoked_total",
+            help="Admissions revoked post-admit (sequencing violations)",
+        )
+        return self._shed(reason)
+
+    def close(self) -> None:
+        """Refuse all future arrivals (graceful-shutdown gate)."""
+        self.closed = True
+
+    def stats(self) -> dict:
+        total_shed = sum(self.shed.values())
+        seen = self.admitted + total_shed
+        return {
+            "admitted": self.admitted,
+            "shed": dict(self.shed),
+            "shed_total": total_shed,
+            "shed_rate": (total_shed / seen) if seen else 0.0,
+            "tokens": self.bucket.available() if self.bucket else None,
+            "closed": self.closed,
+        }

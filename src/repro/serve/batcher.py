@@ -1,0 +1,118 @@
+"""Adaptive batching: coalesce live arrivals into engine batches.
+
+PR 5's amortized arrival path (:func:`repro.runtime.batch.receive_batch`)
+hoists per-arrival bookkeeping across a batch -- but a serving
+front-door receives contexts one connection read at a time.  The
+batcher closes that gap under a two-sided policy:
+
+* **max_size** -- a full batch flushes immediately (throughput side:
+  the engine always sees the amortization win under load);
+* **max_delay** -- an idle-period arrival flushes at most ``max_delay``
+  wall seconds after the *oldest* buffered context arrived (latency
+  side: batching can add at most that much ingest latency, however
+  quiet the stream is).
+
+At high arrival rates batches fill before the timer fires and the
+effective batch size adapts upward; at low rates the timer dominates
+and batches shrink toward 1 -- the classic adaptive-batching shape,
+with both triggers accounted separately
+(``serve_batch_flush_total{trigger=size|timer|drain}``).
+
+Single event loop, no locks.  The flush handler is a plain callable
+(the service enqueues to its engine pump); the batcher never blocks an
+arrival on engine work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+from ..obs.telemetry import Telemetry
+
+__all__ = ["AdaptiveBatcher"]
+
+T = TypeVar("T")
+
+#: Batch-size histogram buckets (contexts per flush, powers of two).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+
+class AdaptiveBatcher(Generic[T]):
+    """Buffer items and flush by size or age, whichever trips first."""
+
+    def __init__(
+        self,
+        flush: Callable[[List[T]], None],
+        *,
+        max_size: int = 64,
+        max_delay: float = 0.005,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self._flush_downstream = flush
+        self.max_size = max_size
+        self.max_delay = max_delay
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._buffer: List[T] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._size_histogram = self.telemetry.histogram(
+            "serve_batch_size",
+            buckets=BATCH_SIZE_BUCKETS,
+            help="Contexts per flushed engine batch",
+        )
+        self.flushes = 0
+        self.items = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def add(self, item: T) -> None:
+        """Buffer one admitted item; flush if the batch filled."""
+        self._buffer.append(item)
+        if len(self._buffer) >= self.max_size:
+            self._fire("size")
+        elif self._timer is None:
+            if self.max_delay == 0:
+                self._fire("timer")
+            else:
+                loop = asyncio.get_running_loop()
+                self._timer = loop.call_later(
+                    self.max_delay, self._fire, "timer"
+                )
+
+    def extend(self, items: Sequence[T]) -> None:
+        for item in items:
+            self.add(item)
+
+    def _fire(self, trigger: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self.flushes += 1
+        self.items += len(batch)
+        self._size_histogram.observe(float(len(batch)))
+        self.telemetry.count(
+            "serve_batch_flush_total",
+            labels={"trigger": trigger},
+            help="Batcher flushes by trigger",
+        )
+        self._flush_downstream(batch)
+
+    def drain(self) -> None:
+        """Flush whatever is buffered now (shutdown path); idempotent."""
+        self._fire("drain")
+
+    def stats(self) -> dict:
+        return {
+            "buffered": len(self._buffer),
+            "flushes": self.flushes,
+            "items": self.items,
+            "mean_batch": (self.items / self.flushes) if self.flushes else 0.0,
+        }

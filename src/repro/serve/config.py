@@ -1,0 +1,98 @@
+"""Serving tunables: admission, batching, transport.
+
+One frozen dataclass, mirroring :class:`repro.engine.config.EngineConfig`:
+the CLI, the tests and the load generator all construct the front-door
+the same way.  Knob semantics are documented in docs/serving.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of the ingestion front-door.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address.  Port ``0`` binds an ephemeral port (tests);
+        the bound port is reported by :meth:`IngestServer.start`.
+    rate:
+        Token-bucket admission rate in contexts/second; ``None``
+        disables rate shedding (depth shedding still applies).
+    burst:
+        Token-bucket capacity -- the largest instantaneous burst
+        admitted at full bucket.  Defaults to one second of ``rate``
+        (minimum 1) when unset.
+    max_queue_depth:
+        Upper bound on admitted-but-undecided contexts (batcher buffer
+        plus engine queue plus in-flight batch).  Arrivals beyond it
+        are shed with reason ``depth`` -- the backpressure that keeps
+        front-door memory bounded however fast clients push.
+    batch_max_size:
+        Flush the adaptive batcher as soon as this many contexts are
+        buffered.
+    batch_max_delay:
+        Flush the batcher this many *wall* seconds after its oldest
+        buffered context arrived, even if the batch is small -- the
+        latency ceiling batching may add to an idle-period arrival.
+    max_pending_per_source:
+        Bound on out-of-order contexts the per-source sequencer will
+        hold while waiting for a gap to fill; a source exceeding it is
+        shed with reason ``order``.
+    max_body_bytes:
+        Largest HTTP request body / WebSocket message accepted.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8600
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    max_queue_depth: int = 4096
+    batch_max_size: int = 64
+    batch_max_delay: float = 0.005
+    max_pending_per_source: int = 256
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.batch_max_size < 1:
+            raise ValueError(
+                f"batch_max_size must be >= 1, got {self.batch_max_size}"
+            )
+        if self.batch_max_delay < 0:
+            raise ValueError(
+                f"batch_max_delay must be >= 0, got {self.batch_max_delay}"
+            )
+        if self.max_pending_per_source < 1:
+            raise ValueError(
+                "max_pending_per_source must be >= 1, got "
+                f"{self.max_pending_per_source}"
+            )
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+
+    def effective_burst(self) -> float:
+        """The burst capacity actually applied (default: 1s of rate)."""
+        if self.burst is not None:
+            return self.burst
+        if self.rate is None:
+            return 1.0
+        return max(1.0, self.rate)
+
+    def with_port(self, port: int) -> "ServeConfig":
+        return replace(self, port=port)

@@ -1,0 +1,553 @@
+"""HTTP/1.1 + WebSocket ingestion transport over asyncio streams.
+
+No web framework: the repo is dependency-free by charter, and the
+front-door needs exactly four routes and one upgrade, so the protocol
+surface is written out against ``asyncio.start_server``:
+
+* ``POST /contexts`` -- one JSON context record, a list, or
+  ``{"contexts": [...]}``.  ``202`` with per-record verdicts when
+  anything was admitted; ``429`` when *everything* was shed (the
+  explicit back-off signal, with per-reason counts in the body);
+  ``400`` for malformed records; ``413`` for oversized bodies.
+* ``GET /stats`` -- the service's JSON stats snapshot (the loadgen's
+  measurement surface).
+* ``GET /healthz`` -- liveness.
+* ``POST /drain`` -- graceful quiesce returning the drain report
+  (also triggered by SIGINT/SIGTERM in :meth:`IngestServer.run`).
+* ``GET /ws`` (``Upgrade: websocket``) -- RFC 6455 text frames, one
+  JSON record (or list) per message, one JSON verdict per message;
+  ping is answered with pong, close with close.  Client frames are
+  masked per the RFC; fragmented messages are not supported (the
+  repo's own clients never fragment).
+
+:class:`HttpClient` and :class:`WsClient` are the matching minimal
+clients used by the load generator and the smoke tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import logging
+import os
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs.telemetry import Telemetry
+from .config import ServeConfig
+from .protocol import ParseError
+from .service import IngestService
+
+__all__ = ["IngestServer", "HttpClient", "WsClient"]
+
+_log = logging.getLogger("repro.serve.http")
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+# WebSocket opcodes.
+_OP_TEXT = 0x1
+_OP_CLOSE = 0x8
+_OP_PING = 0x9
+_OP_PONG = 0xA
+
+
+class _BodyTooLarge(Exception):
+    pass
+
+
+# -- shared HTTP plumbing -----------------------------------------------------
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """One request as ``(method, target, headers, body)``; None on EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line or request_line in (b"\r\n", b"\n"):
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError(f"malformed request line: {request_line!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_body:
+        raise _BodyTooLarge(length)
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    *,
+    keep_alive: bool = True,
+) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "content-type: application/json\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+
+
+# -- WebSocket framing --------------------------------------------------------
+
+
+def _ws_accept_value(key: str) -> str:
+    digest = hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+async def _ws_read_frame(
+    reader: asyncio.StreamReader, max_len: int
+) -> Tuple[int, bytes]:
+    first = await reader.readexactly(2)
+    opcode = first[0] & 0x0F
+    masked = bool(first[1] & 0x80)
+    length = first[1] & 0x7F
+    if length == 126:
+        length = int.from_bytes(await reader.readexactly(2), "big")
+    elif length == 127:
+        length = int.from_bytes(await reader.readexactly(8), "big")
+    if length > max_len:
+        raise _BodyTooLarge(length)
+    mask = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length)
+    if mask:
+        payload = bytes(b ^ mask[i & 3] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+def _ws_write_frame(
+    writer: asyncio.StreamWriter,
+    payload: bytes,
+    opcode: int = _OP_TEXT,
+    *,
+    mask: bool = False,
+) -> None:
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += length.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += length.to_bytes(8, "big")
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i & 3] for i, b in enumerate(payload))
+    writer.write(bytes(header) + payload)
+
+
+# -- the server ---------------------------------------------------------------
+
+
+class IngestServer:
+    """Bind an :class:`IngestService` to HTTP and WebSocket transports."""
+
+    def __init__(
+        self,
+        service: IngestService,
+        *,
+        config: Optional[ServeConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.service = service
+        self.config = config or service.config
+        self.telemetry = (
+            telemetry if telemetry is not None else service.telemetry
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: set = set()
+        self._shutdown_event = asyncio.Event()
+        self.drain_report: Optional[dict] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port).
+
+        Idempotent: a second call reports the existing binding, so
+        :meth:`run` can be layered over an explicit :meth:`start`.
+        """
+        await self.service.start()
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    def request_shutdown(self, reason: str = "signal") -> None:
+        """Signal-safe shutdown trigger (the SIGINT/SIGTERM handler)."""
+        _log.info("shutdown requested (%s); draining", reason)
+        self._shutdown_event.set()
+
+    async def run(self, install_signal_handlers: bool = True) -> dict:
+        """Serve until SIGINT/SIGTERM (or :meth:`request_shutdown`),
+        then drain gracefully; returns the drain report."""
+        host, port = await self.start()
+        _log.info("ingest server listening on %s:%d", host, port)
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        sig, self.request_shutdown, sig.name
+                    )
+                except (NotImplementedError, RuntimeError):
+                    # Platforms without loop signal support fall back
+                    # to KeyboardInterrupt propagation.
+                    pass
+        await self._shutdown_event.wait()
+        return await self.shutdown()
+
+    async def shutdown(self) -> dict:
+        """Stop accepting, drain the service to zero loss, close."""
+        if self._server is not None:
+            self._server.close()
+        self.drain_report = await self.service.drain()
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # noqa: B902 - best-effort close
+                pass
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        return self.drain_report
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(
+                        reader, self.config.max_body_bytes
+                    )
+                except _BodyTooLarge:
+                    _write_response(
+                        writer,
+                        413,
+                        {"error": "body too large"},
+                        keep_alive=False,
+                    )
+                    break
+                except (ValueError, asyncio.IncompleteReadError):
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                if (
+                    headers.get("upgrade", "").lower() == "websocket"
+                    and method == "GET"
+                ):
+                    await self._handle_websocket(reader, writer, headers)
+                    break
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await self._handle_http(
+                    method, target, body, writer, keep_alive
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: B902 - already closing
+                pass
+
+    async def _handle_http(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+    ) -> None:
+        path = target.split("?", 1)[0]
+        self.telemetry.count(
+            "serve_requests_total",
+            labels={"transport": "http"},
+            help="Transport requests",
+        )
+        if path == "/healthz" and method == "GET":
+            _write_response(writer, 200, {"status": "ok"}, keep_alive=keep_alive)
+        elif path == "/stats" and method == "GET":
+            _write_response(
+                writer, 200, self.service.stats(), keep_alive=keep_alive
+            )
+        elif path == "/contexts" and method == "POST":
+            status, payload = self._submit_body(body)
+            _write_response(writer, status, payload, keep_alive=keep_alive)
+        elif path == "/drain" and method == "POST":
+            report = await self.service.drain()
+            _write_response(writer, 200, report, keep_alive=keep_alive)
+        elif path in ("/contexts", "/drain", "/stats", "/healthz"):
+            _write_response(
+                writer, 405, {"error": "method not allowed"}, keep_alive=keep_alive
+            )
+        else:
+            _write_response(
+                writer, 404, {"error": f"no route {path}"}, keep_alive=keep_alive
+            )
+
+    def _submit_body(self, body: bytes) -> Tuple[int, dict]:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            return 400, {"error": f"invalid JSON: {error}"}
+        if isinstance(document, dict) and "contexts" in document:
+            records = document["contexts"]
+        elif isinstance(document, list):
+            records = document
+        else:
+            records = [document]
+        if not isinstance(records, list) or not records:
+            return 400, {"error": "no context records in body"}
+        results = []
+        try:
+            for record in records:
+                results.append(self.service.submit_record(record).to_record())
+        except ParseError as error:
+            return 400, {"error": str(error), "results": results}
+        admitted = sum(1 for r in results if r["status"] == "admitted")
+        shed = len(results) - admitted
+        payload = {"accepted": admitted, "shed": shed, "results": results}
+        return (429 if admitted == 0 else 202), payload
+
+    # -- websocket ----------------------------------------------------------
+
+    async def _handle_websocket(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+    ) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            _write_response(
+                writer, 400, {"error": "missing Sec-WebSocket-Key"},
+                keep_alive=False,
+            )
+            return
+        writer.write(
+            (
+                "HTTP/1.1 101 Switching Protocols\r\n"
+                "upgrade: websocket\r\n"
+                "connection: Upgrade\r\n"
+                f"sec-websocket-accept: {_ws_accept_value(key)}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        while True:
+            try:
+                opcode, payload = await _ws_read_frame(
+                    reader, self.config.max_body_bytes
+                )
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                _BodyTooLarge,
+            ):
+                break
+            if opcode == _OP_CLOSE:
+                _ws_write_frame(writer, payload, _OP_CLOSE)
+                await writer.drain()
+                break
+            if opcode == _OP_PING:
+                _ws_write_frame(writer, payload, _OP_PONG)
+                await writer.drain()
+                continue
+            if opcode != _OP_TEXT:
+                continue
+            self.telemetry.count(
+                "serve_requests_total",
+                labels={"transport": "ws"},
+                help="Transport requests",
+            )
+            reply = self._submit_ws_message(payload)
+            _ws_write_frame(writer, json.dumps(reply).encode("utf-8"))
+            await writer.drain()
+
+    def _submit_ws_message(self, payload: bytes) -> Any:
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            return {"status": "error", "error": f"invalid JSON: {error}"}
+        records = document if isinstance(document, list) else [document]
+        results = []
+        for record in records:
+            try:
+                results.append(self.service.submit_record(record).to_record())
+            except ParseError as error:
+                results.append({"status": "error", "error": str(error)})
+        return results if isinstance(document, list) else results[0]
+
+
+# -- minimal clients ----------------------------------------------------------
+
+
+class HttpClient:
+    """Persistent keep-alive JSON client (loadgen + tests)."""
+
+    def __init__(
+        self, host: str, port: int, reader=None, writer=None
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "HttpClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(host, port, reader, writer)
+
+    async def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Tuple[int, Any]:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"host: {self.host}:{self.port}\r\n"
+            "content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n"
+            "connection: keep-alive\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else None)
+
+    async def post(self, path: str, payload: Any) -> Tuple[int, Any]:
+        return await self.request("POST", path, payload)
+
+    async def get(self, path: str) -> Tuple[int, Any]:
+        return await self.request("GET", path)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:  # noqa: B902 - already closing
+                pass
+
+
+class WsClient:
+    """Minimal RFC 6455 client: masked text frames, JSON payloads."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int, path: str = "/ws") -> "WsClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"host: {host}:{port}\r\n"
+                "upgrade: websocket\r\n"
+                "connection: Upgrade\r\n"
+                f"sec-websocket-key: {key}\r\n"
+                "sec-websocket-version: 13\r\n"
+                "\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        if b"101" not in status_line:
+            raise ConnectionError(f"websocket upgrade refused: {status_line!r}")
+        accept = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != _ws_accept_value(key):
+            raise ConnectionError("websocket accept-key mismatch")
+        return cls(reader, writer)
+
+    async def send_json(self, payload: Any) -> None:
+        _ws_write_frame(
+            self._writer, json.dumps(payload).encode("utf-8"), mask=True
+        )
+        await self._writer.drain()
+
+    async def recv_json(self) -> Any:
+        while True:
+            opcode, payload = await _ws_read_frame(self._reader, 1 << 24)
+            if opcode == _OP_TEXT:
+                return json.loads(payload.decode("utf-8"))
+            if opcode == _OP_CLOSE:
+                raise ConnectionError("server closed the websocket")
+
+    async def close(self) -> None:
+        try:
+            _ws_write_frame(self._writer, b"", _OP_CLOSE, mask=True)
+            await self._writer.drain()
+        except Exception:  # noqa: B902 - already closing
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # noqa: B902 - already closing
+            pass

@@ -1,0 +1,99 @@
+"""Wire format: JSON context records for the ingestion transports.
+
+The serving wire format is the trace format (:mod:`repro.middleware.
+trace`) with serving affordances: ``timestamp`` may be omitted (the
+server assigns its arrival wall-offset as simulation time, keeping the
+runtime clock monotone for live traffic), ``lifespan`` defaults to
+infinite, and an optional ``seq`` field carries the client's
+per-source sequence number for the reorder buffer.
+
+A record rejected here is a client error (HTTP 400), never a shed --
+shedding is an admission verdict about load, not about malformed JSON.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional, Tuple
+
+from ..core.context import Context
+
+__all__ = ["ParseError", "context_from_record", "record_from_context"]
+
+_INF = "Infinity"
+
+
+class ParseError(ValueError):
+    """A context record the wire format cannot accept."""
+
+
+def context_from_record(
+    record: Mapping[str, Any],
+    *,
+    default_timestamp: Optional[float] = None,
+    default_source: str = "unknown",
+) -> Tuple[Context, Optional[int]]:
+    """Parse one JSON-decoded record; returns ``(context, seq)``.
+
+    ``seq`` is the optional client-declared per-source sequence number
+    (:mod:`repro.serve.sequencer`); it rides the record but is not part
+    of the context.
+    """
+    if not isinstance(record, Mapping):
+        raise ParseError(f"context record must be an object, got {type(record).__name__}")
+    try:
+        ctx_id = record["ctx_id"]
+        ctx_type = record["ctx_type"]
+        subject = record["subject"]
+    except KeyError as error:
+        raise ParseError(f"context record missing field {error.args[0]!r}") from None
+    for name, field in (("ctx_id", ctx_id), ("ctx_type", ctx_type), ("subject", subject)):
+        if not isinstance(field, str) or not field:
+            raise ParseError(f"{name} must be a non-empty string, got {field!r}")
+    value = record.get("value")
+    if isinstance(value, list):
+        value = tuple(value)
+    timestamp = record.get("timestamp", default_timestamp)
+    if timestamp is None:
+        raise ParseError("context record needs a timestamp (no default given)")
+    lifespan = record.get("lifespan", _INF)
+    if lifespan == _INF:
+        lifespan = math.inf
+    seq = record.get("seq")
+    if seq is not None and (not isinstance(seq, int) or seq < 0):
+        raise ParseError(f"seq must be a non-negative integer, got {seq!r}")
+    try:
+        context = Context(
+            ctx_id=ctx_id,
+            ctx_type=ctx_type,
+            subject=subject,
+            value=value,
+            timestamp=float(timestamp),
+            lifespan=float(lifespan),
+            source=str(record.get("source", default_source)),
+            corrupted=bool(record.get("corrupted", False)),
+            attributes=tuple(
+                (k, v) for k, v in record.get("attributes", ())
+            ),
+        )
+    except (TypeError, ValueError) as error:
+        raise ParseError(f"invalid context record: {error}") from None
+    return context, seq
+
+
+def record_from_context(ctx: Context, *, seq: Optional[int] = None) -> dict:
+    """One context as a JSON-ready record (the loadgen's send format)."""
+    record = {
+        "ctx_id": ctx.ctx_id,
+        "ctx_type": ctx.ctx_type,
+        "subject": ctx.subject,
+        "value": list(ctx.value) if isinstance(ctx.value, tuple) else ctx.value,
+        "timestamp": ctx.timestamp,
+        "lifespan": _INF if math.isinf(ctx.lifespan) else ctx.lifespan,
+        "source": ctx.source,
+        "corrupted": ctx.corrupted,
+        "attributes": list(ctx.attributes),
+    }
+    if seq is not None:
+        record["seq"] = seq
+    return record

@@ -1,0 +1,143 @@
+"""Per-source FIFO sequencing with cross-source concurrency.
+
+A pervasive deployment's correctness story (paper Section 3.2, SECA in
+PAPERS.md) assumes each *sensor's* readings are checked in the order
+that sensor produced them -- a location track that enters the checker
+reordered manufactures inconsistencies that never happened.  The
+front-door cannot assume transports deliver in order: one source may
+spread pipelined requests over several HTTP connections, and WebSocket
+messages from different connections interleave arbitrarily.
+
+:class:`SourceSequencer` restores exactly the guarantee the engine
+needs and no more: contexts of one source are *released* to the
+batcher in that source's sequence order, while contexts of different
+sources pass each other freely.  Sources declare order either
+implicitly (submission order on arrival at the service -- ``seq=None``
+assigns the next slot) or explicitly (a client-supplied per-source
+``seq``; gaps hold later contexts in a bounded reorder buffer until
+the gap fills).
+
+The buffer is bounded per source (``max_pending``): a source whose gap
+never fills cannot grow server memory without limit -- the overflow is
+surfaced as :class:`SequenceError` and shed with reason ``order``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+__all__ = ["SourceSequencer", "SequenceError"]
+
+T = TypeVar("T")
+
+
+class SequenceError(Exception):
+    """A per-source sequencing violation (duplicate, stale, overflow)."""
+
+
+class _SourceState(Generic[T]):
+    __slots__ = ("next_seq", "held")
+
+    def __init__(self) -> None:
+        #: Next sequence number expected to be released.
+        self.next_seq = 0
+        #: Out-of-order arrivals waiting for their gap to fill.
+        self.held: Dict[int, T] = {}
+
+
+class SourceSequencer(Generic[T]):
+    """Release items in per-source sequence order.
+
+    Single-threaded (event-loop) by design; :meth:`push` returns the
+    items released *by this push* -- zero (held for a gap), one (in
+    order), or several (a gap just filled).
+    """
+
+    def __init__(self, *, max_pending: int = 256) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self._sources: Dict[str, _SourceState[T]] = {}
+        self.reordered = 0
+        self.released = 0
+
+    def _state(self, source: str) -> _SourceState[T]:
+        state = self._sources.get(source)
+        if state is None:
+            state = self._sources[source] = _SourceState()
+        return state
+
+    def push(
+        self, source: str, item: T, seq: Optional[int] = None
+    ) -> List[Tuple[int, T]]:
+        """Submit one item; returns ``(seq, item)`` pairs now in order.
+
+        ``seq=None`` claims the next slot (arrival order *is* source
+        order -- the HTTP single-connection case).  An explicit ``seq``
+        below the release cursor is a duplicate/stale submission and
+        raises; so does holding more than ``max_pending`` gapped items
+        for one source.
+        """
+        state = self._state(source)
+        if seq is None:
+            seq = state.next_seq + len(state.held)
+            while seq in state.held:  # implicit after explicit gaps
+                seq += 1
+        if seq < state.next_seq:
+            raise SequenceError(
+                f"source {source!r} seq {seq} already released "
+                f"(cursor at {state.next_seq})"
+            )
+        if seq in state.held:
+            raise SequenceError(f"source {source!r} seq {seq} already pending")
+        if seq != state.next_seq and len(state.held) >= self.max_pending:
+            raise SequenceError(
+                f"source {source!r} holds {len(state.held)} out-of-order "
+                f"contexts (max {self.max_pending}); dropping seq {seq}"
+            )
+        state.held[seq] = item
+        if seq != state.next_seq:
+            self.reordered += 1
+        released: List[Tuple[int, T]] = []
+        while state.next_seq in state.held:
+            released.append((state.next_seq, state.held.pop(state.next_seq)))
+            state.next_seq += 1
+        self.released += len(released)
+        return released
+
+    def flush_held(self) -> List[Tuple[int, T]]:
+        """Release every held item in per-source seq order (shutdown).
+
+        A graceful drain must resolve admitted-but-held contexts whose
+        gaps will never fill; gaps are skipped, order within each
+        source is preserved, and cursors advance past everything so a
+        late duplicate is still rejected as stale.
+        """
+        released: List[Tuple[int, T]] = []
+        for source in sorted(self._sources):
+            state = self._sources[source]
+            for seq in sorted(state.held):
+                released.append((seq, state.held.pop(seq)))
+                state.next_seq = seq + 1
+        self.released += len(released)
+        return released
+
+    def pending(self, source: Optional[str] = None) -> int:
+        """Gapped items currently held (for one source or all)."""
+        if source is not None:
+            state = self._sources.get(source)
+            return len(state.held) if state else 0
+        return sum(len(s.held) for s in self._sources.values())
+
+    def cursor(self, source: str) -> int:
+        """Next sequence number the source is expected to release."""
+        state = self._sources.get(source)
+        return state.next_seq if state else 0
+
+    def stats(self) -> dict:
+        return {
+            "sources": len(self._sources),
+            "released": self.released,
+            "reordered": self.reordered,
+            "held": self.pending(),
+        }

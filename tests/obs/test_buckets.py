@@ -1,0 +1,91 @@
+"""Configurable histogram buckets: fine ladder, stage override, no-ops."""
+
+from repro.obs import FINE_LATENCY_BUCKETS, Telemetry
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS
+from repro.obs.telemetry import NULL_HISTOGRAM, STAGE_HISTOGRAM
+
+
+class TestFineLatencyBuckets:
+    def test_strictly_increasing(self):
+        assert list(FINE_LATENCY_BUCKETS) == sorted(set(FINE_LATENCY_BUCKETS))
+
+    def test_extends_both_ends_of_the_default_ladder(self):
+        assert FINE_LATENCY_BUCKETS[0] < DEFAULT_LATENCY_BUCKETS[0]
+        assert FINE_LATENCY_BUCKETS[-1] > DEFAULT_LATENCY_BUCKETS[-1]
+
+    def test_default_layout_unchanged(self):
+        # Backward compatibility: existing sidecars and process-mode
+        # snapshots merge against this exact layout.
+        assert DEFAULT_LATENCY_BUCKETS == (
+            0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+            0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+        )
+
+
+class TestStageBucketOverride:
+    def test_default_stage_histogram_uses_default_buckets(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.stage("check"):
+            pass
+        histogram = telemetry._stage_histogram("check")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+
+    def test_stage_buckets_parameter_overrides(self):
+        telemetry = Telemetry(
+            enabled=True, stage_buckets=FINE_LATENCY_BUCKETS
+        )
+        with telemetry.stage("check"):
+            pass
+        histogram = telemetry._stage_histogram("check")
+        assert histogram.buckets == FINE_LATENCY_BUCKETS
+        assert histogram.count == 1
+
+    def test_override_applies_to_every_stage_of_the_bundle(self):
+        telemetry = Telemetry(enabled=True, stage_buckets=(0.1, 1.0))
+        for stage in ("receive", "resolve", "use"):
+            assert telemetry._stage_histogram(stage).buckets == (0.1, 1.0)
+
+    def test_family_layout_is_fixed_at_first_use(self):
+        # Two bundles over one shared registry: the family keeps the
+        # first layout (the merge contract), later bundles reuse it.
+        first = Telemetry(enabled=True, stage_buckets=(0.5, 5.0))
+        shared = first.registry
+        first._stage_histogram("check")
+        second = Telemetry(
+            enabled=True, registry=shared, stage_buckets=FINE_LATENCY_BUCKETS
+        )
+        assert second._stage_histogram("check").buckets == (0.5, 5.0)
+
+    def test_snapshot_records_the_custom_layout(self):
+        telemetry = Telemetry(enabled=True, stage_buckets=(0.01, 0.1))
+        telemetry._stage_histogram("deliver").observe(0.05)
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["families"][STAGE_HISTOGRAM]["buckets"] == [0.01, 0.1]
+
+
+class TestTelemetryHistogram:
+    def test_enabled_bundle_returns_live_instrument(self):
+        telemetry = Telemetry(enabled=True)
+        histogram = telemetry.histogram(
+            "serve_test_seconds", buckets=FINE_LATENCY_BUCKETS
+        )
+        histogram.observe(0.00003)
+        assert histogram.count == 1
+        assert histogram.percentile(0.5) == 0.00005
+
+    def test_same_family_reuses_layout(self):
+        telemetry = Telemetry(enabled=True)
+        first = telemetry.histogram("h", buckets=(1.0, 2.0))
+        second = telemetry.histogram("h", buckets=(9.0,))
+        assert second is first
+        assert second.buckets == (1.0, 2.0)
+
+    def test_disabled_bundle_returns_shared_null(self):
+        telemetry = Telemetry.disabled()
+        histogram = telemetry.histogram("anything")
+        assert histogram is NULL_HISTOGRAM
+        histogram.observe(1.0)
+        assert histogram.count == 0
+        assert histogram.percentile(0.99) == 0.0
+        # Nothing was created in the registry.
+        assert telemetry.registry.families() == []

@@ -1,0 +1,107 @@
+"""Admission control: token bucket, depth shedding, close, revoke."""
+
+from repro.obs import Telemetry
+from repro.serve.admission import (
+    SHED_CLOSED,
+    SHED_DEPTH,
+    SHED_RATE,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 3.0, clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 2.0, clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.1)  # 1 token back at 10/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_capacity_caps_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, 5.0, clock)
+        clock.advance(60.0)
+        assert bucket.available() == 5.0
+
+    def test_rejects_bad_parameters(self):
+        for rate, capacity in ((0.0, 1.0), (-1.0, 1.0), (1.0, 0.5)):
+            try:
+                TokenBucket(rate, capacity)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError(f"accepted rate={rate} cap={capacity}")
+
+
+class TestAdmissionController:
+    def test_unlimited_controller_admits_everything(self):
+        controller = AdmissionController(max_queue_depth=100)
+        assert all(controller.admit(0) is None for _ in range(50))
+        assert controller.admitted == 50
+        assert controller.stats()["shed_total"] == 0
+
+    def test_rate_shed(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=10.0, burst=2.0, clock=clock)
+        assert controller.admit(0) is None
+        assert controller.admit(0) is None
+        assert controller.admit(0) == SHED_RATE
+        clock.advance(0.1)
+        assert controller.admit(0) is None
+        assert controller.shed[SHED_RATE] == 1
+
+    def test_depth_shed_precedes_rate(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=1000.0, max_queue_depth=4, clock=clock
+        )
+        assert controller.admit(3) is None
+        assert controller.admit(4) == SHED_DEPTH
+        # A depth shed must not consume a rate token.
+        assert controller.bucket.available() == controller.bucket.capacity - 1
+
+    def test_closed_sheds_everything(self):
+        controller = AdmissionController()
+        controller.close()
+        assert controller.admit(0) == SHED_CLOSED
+        assert controller.stats()["closed"]
+
+    def test_revoke_nets_out_and_counts(self):
+        telemetry = Telemetry(enabled=True)
+        controller = AdmissionController(telemetry=telemetry)
+        assert controller.admit(0) is None
+        controller.revoke("order")
+        assert controller.admitted == 0
+        assert controller.shed["order"] == 1
+        registry = telemetry.registry
+        assert registry.value("serve_admitted_total") == 1
+        assert registry.value("serve_admitted_revoked_total") == 1
+        assert registry.value("serve_shed_total", {"reason": "order"}) == 1
+
+    def test_shed_rate_stat(self):
+        controller = AdmissionController(max_queue_depth=1)
+        controller.admit(0)
+        controller.admit(5)
+        assert controller.stats()["shed_rate"] == 0.5

@@ -1,0 +1,83 @@
+"""Adaptive batching: size trigger, linger timer, drain."""
+
+import asyncio
+
+from repro.obs import Telemetry
+from repro.serve.batcher import AdaptiveBatcher
+
+
+def test_size_trigger_flushes_immediately():
+    async def main():
+        batches = []
+        batcher = AdaptiveBatcher(batches.append, max_size=3, max_delay=60.0)
+        for item in range(7):
+            batcher.add(item)
+        # Two full batches flushed synchronously; one partial buffered.
+        assert batches == [[0, 1, 2], [3, 4, 5]]
+        assert len(batcher) == 1
+        batcher.drain()
+        assert batches[-1] == [6]
+
+    asyncio.run(main())
+
+
+def test_timer_flushes_partial_batch():
+    async def main():
+        batches = []
+        batcher = AdaptiveBatcher(batches.append, max_size=100, max_delay=0.01)
+        batcher.add("a")
+        batcher.add("b")
+        assert batches == []
+        await asyncio.sleep(0.05)
+        assert batches == [["a", "b"]]
+
+    asyncio.run(main())
+
+
+def test_zero_delay_means_no_batching():
+    async def main():
+        batches = []
+        batcher = AdaptiveBatcher(batches.append, max_size=100, max_delay=0.0)
+        batcher.add("a")
+        batcher.add("b")
+        assert batches == [["a"], ["b"]]
+
+    asyncio.run(main())
+
+
+def test_timer_rearms_after_flush():
+    async def main():
+        batches = []
+        batcher = AdaptiveBatcher(batches.append, max_size=100, max_delay=0.01)
+        batcher.add(1)
+        await asyncio.sleep(0.05)
+        batcher.add(2)
+        await asyncio.sleep(0.05)
+        assert batches == [[1], [2]]
+
+    asyncio.run(main())
+
+
+def test_drain_is_idempotent_and_counts_triggers():
+    async def main():
+        telemetry = Telemetry(enabled=True)
+        batches = []
+        batcher = AdaptiveBatcher(
+            batches.append, max_size=2, max_delay=60.0, telemetry=telemetry
+        )
+        batcher.extend([1, 2, 3])
+        batcher.drain()
+        batcher.drain()  # nothing buffered: no empty flush
+        assert batches == [[1, 2], [3]]
+        registry = telemetry.registry
+        assert registry.value(
+            "serve_batch_flush_total", {"trigger": "size"}
+        ) == 1
+        assert registry.value(
+            "serve_batch_flush_total", {"trigger": "drain"}
+        ) == 1
+        assert batcher.stats() == {
+            "buffered": 0, "flushes": 2, "items": 3, "mean_batch": 1.5,
+        }
+
+    asyncio.run(main())

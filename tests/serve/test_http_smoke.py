@@ -1,0 +1,175 @@
+"""Transport smoke tests: HTTP routes, status codes, WebSocket frames.
+
+Real sockets on an ephemeral port, but everything in-process and
+bounded: each test runs one server, a handful of requests, and a full
+drain.  CI runs this module under pytest-timeout as the serve smoke
+gate.
+"""
+
+import asyncio
+import json
+
+from repro.obs import Telemetry
+from repro.serve import (
+    HttpClient,
+    IngestServer,
+    IngestService,
+    ServeConfig,
+    WsClient,
+)
+from repro.serve.loadgen import build_app_engine, prepare_records
+
+
+def run_with_server(test_body, **config_kwargs):
+    """Start a server on port 0, run ``test_body(host, port, server)``,
+    always shut down."""
+
+    async def main():
+        telemetry = Telemetry(enabled=True)
+        engine = build_app_engine("rfid", shards=2, telemetry=telemetry)
+        service = IngestService(
+            engine,
+            config=ServeConfig(port=0, batch_max_delay=0.001, **config_kwargs),
+            telemetry=telemetry,
+        )
+        server = IngestServer(service)
+        host, port = await server.start()
+        try:
+            await test_body(host, port, server)
+        finally:
+            if server._server is not None:
+                await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_healthz_stats_and_unknown_routes():
+    async def body(host, port, server):
+        client = await HttpClient.connect(host, port)
+        assert await client.get("/healthz") == (200, {"status": "ok"})
+        status, stats = await client.get("/stats")
+        assert status == 200
+        assert stats["admission"]["admitted"] == 0
+        assert await client.get("/nope") == (404, {"error": "no route /nope"})
+        status, _ = await client.request("DELETE", "/stats")
+        assert status == 405
+        await client.close()
+
+    run_with_server(body)
+
+
+def test_post_contexts_accepts_and_acks_each_record():
+    async def body(host, port, server):
+        client = await HttpClient.connect(host, port)
+        records = prepare_records("rfid", 12)
+        status, payload = await client.post("/contexts", {"contexts": records})
+        assert status == 202
+        assert payload["accepted"] == 12 and payload["shed"] == 0
+        assert [r["status"] for r in payload["results"]] == ["admitted"] * 12
+        # A bare object and a bare list are accepted shapes too.
+        status, payload = await client.post("/contexts", records[0] | {"ctx_id": "solo"})
+        assert status == 202 and payload["accepted"] == 1
+        await client.close()
+
+    run_with_server(body)
+
+
+def test_post_contexts_malformed_is_400_not_shed():
+    async def body(host, port, server):
+        client = await HttpClient.connect(host, port)
+        status, payload = await client.post("/contexts", {"ctx_id": "x"})
+        assert status == 400
+        status, stats = await client.get("/stats")
+        assert stats["admission"]["shed_total"] == 0
+        await client.close()
+
+    run_with_server(body)
+
+
+def test_rate_overload_returns_429_with_reason():
+    async def body(host, port, server):
+        client = await HttpClient.connect(host, port)
+        records = prepare_records("rfid", 5)
+        # burst=1: the first record takes the only token.
+        status, payload = await client.post("/contexts", {"contexts": records})
+        assert status == 202  # some admitted, some shed
+        assert payload["accepted"] >= 1
+        assert payload["shed"] == 5 - payload["accepted"]
+        shed = [r for r in payload["results"] if r["status"] == "shed"]
+        assert all(r["reason"] == "rate" for r in shed)
+        # Everything shed -> the explicit back-off status.
+        status, payload = await client.post(
+            "/contexts", {"contexts": prepare_records("rfid", 3)}
+        )
+        assert status == 429
+        assert payload["accepted"] == 0
+        await client.close()
+
+    run_with_server(body, rate=0.001, burst=1.0)
+
+
+def test_drain_endpoint_reports_zero_loss():
+    async def body(host, port, server):
+        client = await HttpClient.connect(host, port)
+        await client.post("/contexts", {"contexts": prepare_records("rfid", 20)})
+        status, report = await client.post("/drain", {})
+        assert status == 200
+        assert report["lost"] == 0
+        assert report["decided"] == 20
+        # Post-drain arrivals are shed "closed".
+        status, payload = await client.post(
+            "/contexts", {"contexts": prepare_records("rfid", 2)}
+        )
+        assert status == 429
+        assert all(r["reason"] == "closed" for r in payload["results"])
+        await client.close()
+
+    run_with_server(body)
+
+
+def test_websocket_roundtrip_and_ping():
+    async def body(host, port, server):
+        ws = await WsClient.connect(host, port)
+        records = prepare_records("rfid", 6)
+        await ws.send_json(records[0])
+        ack = await ws.recv_json()
+        assert ack["status"] == "admitted"
+        await ws.send_json(records[1:4])
+        acks = await ws.recv_json()
+        assert [a["status"] for a in acks] == ["admitted"] * 3
+        await ws.send_json("not an object")
+        assert (await ws.recv_json())["status"] == "error"
+        await ws.close()
+        # The HTTP side still works on a fresh connection afterwards.
+        client = await HttpClient.connect(host, port)
+        status, stats = await client.get("/stats")
+        assert stats["admission"]["admitted"] == 4
+        await client.close()
+
+    run_with_server(body)
+
+
+def test_large_body_is_413():
+    async def body(host, port, server):
+        client = await HttpClient.connect(host, port)
+        big = {"contexts": [{"ctx_id": "x" * 4096}] * 64}
+        assert len(json.dumps(big)) > 4096
+        status, payload = await client.post("/contexts", big)
+        assert status == 413
+        await client.close()
+
+    run_with_server(body, max_body_bytes=4096)
+
+
+def test_latency_histograms_populate():
+    async def body(host, port, server):
+        client = await HttpClient.connect(host, port)
+        await client.post("/contexts", {"contexts": prepare_records("rfid", 30)})
+        await asyncio.sleep(0.05)  # let the pump decide the batch
+        status, stats = await client.get("/stats")
+        decision = stats["latency"]["ingest_to_decision"]
+        assert decision["count"] == 30
+        assert 0 < decision["p50"] <= decision["p99"]
+        await client.close()
+
+    run_with_server(body)

@@ -1,0 +1,219 @@
+"""Property: serving preserves per-source FIFO and batch-replay decisions.
+
+Hypothesis drives N concurrent sources submitting interleaved context
+streams (optionally with scrambled explicit sequence numbers) through
+the full service path -- admission, sequencer, batcher, engine pump,
+drain.  Two invariants must hold on every run:
+
+1. **per-source FIFO** -- the engine observes (and decides) each
+   source's contexts in that source's sequence order;
+2. **replay equivalence** -- the decision event sequence is
+   byte-identical (as a JSON signature) to ``ShardedEngine.run`` over
+   the release order as one batch stream.
+
+Together these pin the serving tentpole's correctness claim: the
+front-door adds concurrency and batching without changing a single
+resolution decision.
+"""
+
+import asyncio
+import json
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.parser import parse_constraint
+from repro.core.context import Context
+from repro.engine import EngineConfig, ShardedEngine
+from repro.middleware.bus import (
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+)
+from repro.serve import IngestService, ServeConfig
+from repro.serve.sequencer import SourceSequencer
+
+TYPES = ("loc", "badge", "rfid", "temp", "free")
+SUBJECTS = ("s1", "s2")
+
+
+def make_constraints():
+    return [
+        parse_constraint(
+            "c0",
+            "forall a in loc, forall b in badge : "
+            "same_subject(a, b) implies within_time(a, b, 5.0)",
+        ),
+        parse_constraint(
+            "c1",
+            "forall a in rfid, forall b in temp : "
+            "same_subject(a, b) implies within_time(a, b, 3.0)",
+        ),
+    ]
+
+
+def make_engine(use_window):
+    return ShardedEngine(
+        make_constraints(),
+        strategy="drop-bad",
+        config=EngineConfig(shards=2, mode="inline", use_window=use_window),
+    )
+
+
+def subscribe_events(bus, events):
+    bus.subscribe(
+        ContextDelivered, lambda e: events.append(("D", e.context.ctx_id))
+    )
+    bus.subscribe(
+        ContextDiscarded, lambda e: events.append(("X", e.context.ctx_id))
+    )
+    bus.subscribe(
+        ContextExpired, lambda e: events.append(("E", e.context.ctx_id))
+    )
+
+
+def build_streams(seed, n_sources, per_source):
+    """Per-source context lists with per-source increasing timestamps."""
+    rng = random.Random(seed)
+    streams = []
+    for s in range(n_sources):
+        source = f"src{s}"
+        t = 0.0
+        contexts = []
+        for i in range(per_source):
+            t += rng.random() * 2.0
+            contexts.append(
+                Context(
+                    ctx_id=f"{source}-{i}",
+                    ctx_type=rng.choice(TYPES),
+                    subject=rng.choice(SUBJECTS),
+                    value=float(i),
+                    timestamp=t,
+                    lifespan=rng.choice((float("inf"), 8.0)),
+                    source=source,
+                    corrupted=rng.random() < 0.2,
+                )
+            )
+        streams.append(contexts)
+    return streams
+
+
+def interleave(streams, seed, scramble):
+    """One global arrival order of (source, seq, ctx) triples.
+
+    ``scramble=True`` permutes each source's send order but keeps the
+    true order in explicit ``seq`` -- the reorder buffer must undo it.
+    """
+    rng = random.Random(seed ^ 0xA5A5)
+    arrivals = []
+    for contexts in streams:
+        order = list(range(len(contexts)))
+        if scramble:
+            rng.shuffle(order)
+        arrivals.append([(contexts[i].source, i, contexts[i]) for i in order])
+    merged = []
+    while any(arrivals):
+        lane = rng.choice([a for a in arrivals if a])
+        merged.append(lane.pop(0))
+    return merged
+
+
+def run_live(arrivals, use_window, batch_max_size):
+    """Submit through the full service; returns (events, report)."""
+
+    async def main():
+        engine = make_engine(use_window)
+        service = IngestService(
+            engine,
+            config=ServeConfig(
+                port=0, batch_max_size=batch_max_size, batch_max_delay=0.0
+            ),
+        )
+        events = []
+        subscribe_events(engine.bus, events)
+        await service.start()
+        for source, seq, ctx in arrivals:
+            result = service.submit_record(ctx, source=source, seq=seq)
+            assert result.admitted, result.reason
+            await asyncio.sleep(0)  # let the pump interleave with sends
+        report = await service.drain()
+        return events, report
+
+    return asyncio.run(main())
+
+
+def run_replay(release_order, use_window):
+    """The reference: one closed-loop run over the same release order."""
+    engine = make_engine(use_window)
+    events = []
+    subscribe_events(engine.bus, events)
+    engine.run(release_order)
+    return events
+
+
+def expected_release_order(arrivals):
+    """What the sequencer releases, computed by a fresh sequencer."""
+    reference = SourceSequencer()
+    released = []
+    for source, seq, ctx in arrivals:
+        released.extend(
+            item for _, item in reference.push(source, ctx, seq)
+        )
+    released.extend(item for _, item in reference.flush_held())
+    return released
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_sources=st.integers(min_value=1, max_value=4),
+    per_source=st.integers(min_value=0, max_value=8),
+    scramble=st.booleans(),
+    use_window=st.integers(min_value=0, max_value=4),
+    batch_max_size=st.sampled_from((1, 3, 64)),
+)
+def test_serving_preserves_order_and_decisions(
+    seed, n_sources, per_source, scramble, use_window, batch_max_size
+):
+    streams = build_streams(seed, n_sources, per_source)
+    arrivals = interleave(streams, seed, scramble)
+
+    live_events, report = run_live(arrivals, use_window, batch_max_size)
+    # Zero loss: every admitted context reached a terminal decision.
+    # (decided counts terminal *events*, which can exceed the context
+    # count -- a delivered context whose lifespan later lapses in the
+    # pool is tallied again as expired.)
+    assert report["lost"] == 0
+    decided_ids = set(cid for _, cid in live_events)
+    assert decided_ids == set(ctx.ctx_id for _, _, ctx in arrivals)
+
+    # 1. Per-source FIFO: the deliveries an application observes for
+    # one source appear in that source's sequence order.  (Discard and
+    # expiry events interleave with deferred deliveries by design --
+    # their exact order is pinned by the replay signature below.)
+    for contexts in streams:
+        source_ids = set(c.ctx_id for c in contexts)
+        delivered = [
+            cid for kind, cid in live_events
+            if kind == "D" and cid in source_ids
+        ]
+        expected = [
+            c.ctx_id for c in contexts if c.ctx_id in set(delivered)
+        ]
+        assert delivered == expected, (
+            f"per-source delivery order violated: "
+            f"{delivered} != {expected}"
+        )
+
+    # 2. Byte-identical decision signature vs batch replay of the
+    # release order.
+    release_order = expected_release_order(arrivals)
+    replay_events = run_replay(release_order, use_window)
+    live_signature = json.dumps(live_events).encode()
+    replay_signature = json.dumps(replay_events).encode()
+    assert live_signature == replay_signature

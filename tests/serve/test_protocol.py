@@ -1,0 +1,79 @@
+"""Wire-format parsing: defaults, round-trip, rejection."""
+
+import math
+
+import pytest
+
+from repro.core.context import Context
+from repro.serve.protocol import (
+    ParseError,
+    context_from_record,
+    record_from_context,
+)
+
+MINIMAL = {"ctx_id": "c1", "ctx_type": "loc", "subject": "s1"}
+
+
+def test_minimal_record_with_defaults():
+    ctx, seq = context_from_record(dict(MINIMAL), default_timestamp=12.5)
+    assert ctx.ctx_id == "c1"
+    assert ctx.timestamp == 12.5
+    assert math.isinf(ctx.lifespan)
+    assert ctx.source == "unknown"
+    assert seq is None
+
+
+def test_round_trip_preserves_fields():
+    original = Context(
+        ctx_id="c9",
+        ctx_type="rfid",
+        subject="tag1",
+        value=(1.0, 2.0),
+        timestamp=3.5,
+        lifespan=60.0,
+        source="reader-2",
+        corrupted=True,
+        attributes=(("k", "v"),),
+    )
+    record = record_from_context(original, seq=4)
+    assert record["seq"] == 4
+    ctx, seq = context_from_record(record)
+    assert seq == 4
+    assert ctx == original
+
+
+def test_infinite_lifespan_round_trips_as_sentinel():
+    ctx, _ = context_from_record(dict(MINIMAL), default_timestamp=0.0)
+    record = record_from_context(ctx)
+    assert record["lifespan"] == "Infinity"
+    again, _ = context_from_record(record)
+    assert math.isinf(again.lifespan)
+
+
+@pytest.mark.parametrize(
+    "record",
+    [
+        "not a mapping",
+        {},
+        {**MINIMAL, "ctx_id": ""},
+        {**MINIMAL, "ctx_type": 7},
+        {**MINIMAL, "seq": -1},
+        {**MINIMAL, "seq": "first"},
+        {**MINIMAL, "timestamp": "noon"},
+    ],
+)
+def test_rejected_records(record):
+    with pytest.raises(ParseError):
+        context_from_record(record, default_timestamp=0.0)
+
+
+def test_missing_timestamp_without_default_is_an_error():
+    with pytest.raises(ParseError):
+        context_from_record(dict(MINIMAL))
+
+
+def test_list_value_becomes_tuple():
+    ctx, _ = context_from_record(
+        {**MINIMAL, "value": [1, 2]}, default_timestamp=0.0
+    )
+    assert ctx.value == (1, 2)

@@ -1,0 +1,96 @@
+"""Per-source FIFO sequencing: implicit/explicit seq, gaps, bounds."""
+
+import pytest
+
+from repro.serve.sequencer import SequenceError, SourceSequencer
+
+
+def released_items(pairs):
+    return [item for _, item in pairs]
+
+
+class TestImplicitOrder:
+    def test_arrival_order_is_release_order(self):
+        seq = SourceSequencer()
+        out = []
+        for item in "abc":
+            out += released_items(seq.push("s1", item))
+        assert out == ["a", "b", "c"]
+
+    def test_sources_are_independent(self):
+        seq = SourceSequencer()
+        assert released_items(seq.push("s1", "a1")) == ["a1"]
+        assert released_items(seq.push("s2", "b1")) == ["b1"]
+        assert seq.cursor("s1") == 1
+        assert seq.cursor("s2") == 1
+
+
+class TestExplicitOrder:
+    def test_gap_holds_until_filled(self):
+        seq = SourceSequencer()
+        assert seq.push("s", "late", seq=2) == []
+        assert seq.push("s", "later", seq=1) == []
+        assert seq.pending("s") == 2
+        # seq 0 arrives: the whole run releases, in seq order.
+        assert seq.push("s", "first", seq=0) == [
+            (0, "first"), (1, "later"), (2, "late"),
+        ]
+        assert seq.pending("s") == 0
+
+    def test_stale_seq_raises(self):
+        seq = SourceSequencer()
+        seq.push("s", "a", seq=0)
+        with pytest.raises(SequenceError):
+            seq.push("s", "dup", seq=0)
+
+    def test_duplicate_pending_raises(self):
+        seq = SourceSequencer()
+        seq.push("s", "a", seq=5)
+        with pytest.raises(SequenceError):
+            seq.push("s", "b", seq=5)
+
+    def test_reorder_buffer_is_bounded(self):
+        seq = SourceSequencer(max_pending=2)
+        seq.push("s", "x", seq=10)
+        seq.push("s", "y", seq=11)
+        with pytest.raises(SequenceError):
+            seq.push("s", "z", seq=12)
+        # The in-order head is always admissible even at the bound.
+        assert released_items(seq.push("s", "head", seq=0)) == ["head"]
+
+    def test_implicit_after_explicit_gap_skips_held_slots(self):
+        seq = SourceSequencer()
+        seq.push("s", "gap2", seq=2)
+        # Implicit claims the next free slot (1), not the held one (2).
+        assert seq.push("s", "imp", seq=None) == []
+        assert released_items(seq.push("s", "first", seq=0)) == [
+            "first", "imp", "gap2",
+        ]
+
+
+class TestFlushHeld:
+    def test_flush_releases_in_per_source_seq_order(self):
+        seq = SourceSequencer()
+        seq.push("b", "b9", seq=9)
+        seq.push("a", "a5", seq=5)
+        seq.push("a", "a3", seq=3)
+        flushed = seq.flush_held()
+        assert released_items(flushed) == ["a3", "a5", "b9"]
+        assert seq.pending() == 0
+
+    def test_flush_advances_cursor_past_everything(self):
+        seq = SourceSequencer()
+        seq.push("s", "late", seq=7)
+        seq.flush_held()
+        with pytest.raises(SequenceError):
+            seq.push("s", "dup", seq=7)
+        assert seq.cursor("s") == 8
+
+    def test_stats(self):
+        seq = SourceSequencer()
+        seq.push("s", "a")
+        seq.push("s", "c", seq=3)
+        stats = seq.stats()
+        assert stats == {
+            "sources": 1, "released": 1, "reordered": 1, "held": 1,
+        }

@@ -1,0 +1,63 @@
+"""Tests for the ``repro serve`` and ``repro loadgen`` CLI commands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestServeParser:
+    def test_serve_validates_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "unknown-app"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "rfid"])
+        assert args.port == 8600
+        assert args.rate is None
+        assert args.shards == 2
+
+    def test_serve_rejects_bad_config(self, capsys):
+        code = main(["serve", "rfid", "--batch-max-size", "0"], out=io.StringIO())
+        assert code == 2
+        assert "batch_max_size" in capsys.readouterr().err
+
+    def test_loadgen_validates_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "unknown-app"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen", "rfid"])
+        assert args.rates == [200.0, 500.0, 1000.0]
+        assert args.contexts == 500
+        assert args.json is None
+
+
+class TestLoadgenCommand:
+    def test_sweep_prints_table_and_writes_json(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        code, text = run_cli(
+            "loadgen", "rfid",
+            "--rates", "2000",
+            "--contexts", "60",
+            "--json", str(path),
+        )
+        assert code == 0
+        assert "Open-loop ingest sweep -- rfid" in text
+        assert "decision p50/p95/p99" in text
+        assert f"record merged into {path}" in text
+        document = json.loads(path.read_text())
+        record = document["serve_open_loop"]
+        assert record["rates"] == [2000.0]
+        row = record["rows"][0]
+        assert row["sent"] == 60
+        assert row["drain"]["lost"] == 0
+        assert row["server"]["ingest_to_decision_s"]["count"] > 0
