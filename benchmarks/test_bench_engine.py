@@ -19,6 +19,7 @@ Decisions are asserted identical across all shard counts inside the
 runner -- sharding that changed any outcome would abort the benchmark.
 """
 
+import gc
 import pathlib
 import time
 import warnings
@@ -170,5 +171,100 @@ def test_runtime_batch_column():
         warnings.warn(
             "runtime batch path is >30% slower than per-context receive "
             f"({ratio:.2f}x); investigate before shipping",
+            stacklevel=1,
+        )
+
+
+def test_ledger_column(tmp_path):
+    """A/B the decision ledger on the call-forwarding stream.
+
+    Records a ``ledger`` column into ``BENCH_engine.json``: contexts/
+    second with the hash-chained ledger off vs on, on the same inline
+    engine.  Decision identity is asserted hard (the ledger is an
+    observer, never an actor); overhead is fail-soft -- a >30%
+    throughput drop warns rather than fails, for the same
+    loaded-machine reasons as the ``runtime_batch`` column.  The
+    acceptance budget for the feature itself is <=10% on this stream;
+    the recorded ``off_vs_on`` ratio is how drift shows up in review.
+    """
+    from repro.ledger import verify_ledger
+
+    app = CallForwardingApp()
+    stream = app.generate_workload(0.3, seed=88, duration=400.0)
+    constraints = app.build_checker().constraints()
+    ledger_path = tmp_path / "bench.ledger.jsonl"
+
+    def run(with_ledger):
+        engine = ShardedEngine(
+            constraints,
+            strategy="drop-bad",
+            registry_factory=app.build_registry,
+            config=EngineConfig(
+                shards=2,
+                use_window=10,
+                ledger_path=str(ledger_path) if with_ledger else None,
+            ),
+        )
+        # Collect, then pause the collector for the timed region (both
+        # arms identically).  Mid-run generational passes walk the
+        # whole heap -- dominated by the engine's own event objects --
+        # and fire at allocation thresholds, so which arm pays them is
+        # an artifact of allocation phase, not of ledger cost; pausing
+        # is the same hygiene pyperf/timeit apply.
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            result = engine.run(stream)
+            return time.perf_counter() - started, result
+        finally:
+            gc.enable()
+
+    # Interleave the arms (off, on, off, on, ...) so a load spike hits
+    # both sides instead of biasing whichever arm it lands on; best-of
+    # per arm then compares like with like.  Load noise here is
+    # multiplicative (the on arm does ~10% more work, so a busy core
+    # stretches it more), which is exactly the noise shape best-of
+    # handles and averages don't -- hence 9 rounds, not a mean.
+    run(False), run(True)  # warmup: prime caches outside the timings
+    off_s = on_s = float("inf")
+    off_result = on_result = None
+    for _ in range(9):
+        elapsed, result = run(False)
+        if elapsed < off_s:
+            off_s, off_result = elapsed, result
+        elapsed, result = run(True)
+        if elapsed < on_s:
+            on_s, on_result = elapsed, result
+    assert off_result.delivered_ids == on_result.delivered_ids
+    assert off_result.discarded_ids == on_result.discarded_ids
+    check = verify_ledger(str(ledger_path))
+    assert check.ok, check.summary()
+
+    ratio = off_s / on_s if on_s > 0 else float("inf")
+    record = {
+        "n_contexts": len(stream),
+        "ledger_off_contexts_per_second": len(stream) / off_s,
+        "ledger_on_contexts_per_second": len(stream) / on_s,
+        "off_vs_on": ratio,
+        "ledger_entries": check.entries,
+        "ledger_bytes": ledger_path.stat().st_size,
+        "delivered": len(on_result.delivered_ids),
+        "discarded": len(on_result.discarded_ids),
+    }
+    write_bench_json(OUT_JSON, "ledger", record)
+    write_report(
+        "ledger",
+        "Decision ledger overhead -- call-forwarding stream, 2 shards, "
+        "window 10\n"
+        f"  ledger off: {record['ledger_off_contexts_per_second']:>9.1f} ctx/s\n"
+        f"  ledger on:  {record['ledger_on_contexts_per_second']:>9.1f} ctx/s\n"
+        f"  off/on ratio: {ratio:.2f}x "
+        f"({check.entries} entries, {record['ledger_bytes']} bytes)",
+    )
+    if ratio < 0.7:
+        warnings.warn(
+            "ledger-on throughput is >30% below ledger-off "
+            f"({ratio:.2f}x); the audit trail has become a hot-path cost",
             stacklevel=1,
         )

@@ -17,6 +17,11 @@ Usage (after ``pip install -e .``)::
     python -m repro obs summary benchmarks/out/TELEMETRY_engine_bench.json
     python -m repro obs export benchmarks/out/TELEMETRY_engine_bench.json --format prom
     python -m repro obs spans benchmarks/out/TELEMETRY_engine_bench.json --top 5
+    python -m repro engine run rfid --ledger run.ledger.jsonl
+    python -m repro ledger verify run.ledger.jsonl
+    python -m repro ledger explain run.ledger.jsonl rfid-42
+    python -m repro ledger replay run.ledger.jsonl
+    python -m repro ledger diff run_a.ledger.jsonl run_b.ledger.jsonl
 """
 
 from __future__ import annotations
@@ -160,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the amortized runtime batch path (per-context "
         "receive reference path)",
     )
+    engine_run.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="write the run's hash-chained decision ledger to this "
+        "JSONL path (audit with `repro ledger ...`)",
+    )
+    engine_run.add_argument(
+        "--ledger-fsync",
+        action="store_true",
+        help="fsync every ledger flush (durability over throughput)",
+    )
     engine_bench = engine_sub.add_parser(
         "bench", help="measure engine throughput per shard count"
     )
@@ -219,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue-depth", type=int, default=4096)
     serve.add_argument("--batch-max-size", type=int, default=64)
     serve.add_argument("--batch-max-delay", type=float, default=0.005)
+    serve.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="record the session's decision ledger live to this JSONL "
+        "path (a crash leaves a verifiable prefix)",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="open-loop load sweep against the front-door"
@@ -246,6 +270,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also merge the sweep record into a BENCH_serve.json file",
     )
+
+    ledger = commands.add_parser(
+        "ledger", help="verify, explain, replay or diff a decision ledger"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_verify = ledger_sub.add_parser(
+        "verify", help="check the hash chain and the header's ruleset hash"
+    )
+    ledger_verify.add_argument("path")
+    ledger_explain = ledger_sub.add_parser(
+        "explain", help="causal story of one context, from the ledger alone"
+    )
+    ledger_explain.add_argument("path")
+    ledger_explain.add_argument("ctx_id")
+    ledger_replay = ledger_sub.add_parser(
+        "replay",
+        help="re-execute the recorded run and compare decision signatures",
+    )
+    ledger_replay.add_argument("path")
+    ledger_replay.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for the replay engine (default: the recorded "
+        "meta.shards); decisions are shard-count invariant",
+    )
+    ledger_replay.add_argument(
+        "--app",
+        choices=sorted(_APPS),
+        default=None,
+        help="predicate-registry fallback when the ledger header has no "
+        "resolvable registry spec",
+    )
+    ledger_diff = ledger_sub.add_parser(
+        "diff", help="compare two runs' verdict streams"
+    )
+    ledger_diff.add_argument("path_a")
+    ledger_diff.add_argument("path_b")
 
     obs = commands.add_parser(
         "obs", help="inspect or export a telemetry sidecar"
@@ -432,6 +494,8 @@ def _cmd_engine(args, out) -> int:
             fault=FaultConfig(**fault_overrides),
             kernels=not args.no_kernels,
             runtime_batch=not args.no_runtime_batch,
+            ledger_path=args.ledger,
+            ledger_fsync=args.ledger_fsync,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -473,6 +537,12 @@ def _cmd_engine(args, out) -> int:
             if stats.degraded:
                 line += ", degraded"
         print(line, file=out)
+    if args.ledger:
+        print(
+            f"decision ledger written to {args.ledger} "
+            f"(ruleset {engine.ruleset_hash[:12]}...)",
+            file=out,
+        )
     if telemetry is not None:
         write_sidecar(
             args.telemetry_out,
@@ -483,6 +553,7 @@ def _cmd_engine(args, out) -> int:
                 "strategy": args.strategy,
                 "shards": args.shards,
                 "mode": args.mode,
+                "ruleset_hash": engine.ruleset_hash,
             },
         )
         print(f"telemetry sidecar written to {args.telemetry_out}", file=out)
@@ -516,6 +587,7 @@ def _cmd_serve(args, out) -> int:
         strategy=args.strategy,
         use_window=args.window,
         telemetry=telemetry,
+        ledger_path=args.ledger,
     )
     service = IngestService(engine, config=config, telemetry=telemetry)
     server = IngestServer(service)
@@ -557,6 +629,49 @@ def _cmd_loadgen(args, out) -> int:
     if args.json:
         print(f"record merged into {args.json}", file=out)
     return 0
+
+
+def _cmd_ledger(args, out) -> int:
+    from .ledger import (
+        diff_ledgers,
+        explain_context,
+        format_diff,
+        read_ledger,
+        replay_ledger,
+        verify_ledger,
+    )
+
+    try:
+        if args.ledger_command == "verify":
+            result = verify_ledger(args.path)
+            print(result.summary(), file=out)
+            return 0 if result.ok else 1
+        if args.ledger_command == "explain":
+            print(explain_context(read_ledger(args.path), args.ctx_id), file=out)
+            return 0
+        if args.ledger_command == "replay":
+            registry_factory = None
+            if args.app is not None:
+                app_cls, _ = _APPS[args.app]
+                registry_factory = app_cls().build_registry
+            result = replay_ledger(
+                args.path,
+                shards=args.shards,
+                registry_factory=registry_factory,
+            )
+            print(result.summary(), file=out)
+            return 0 if result.ok else 1
+        diff = diff_ledgers(
+            read_ledger(args.path_a), read_ledger(args.path_b)
+        )
+        print(
+            format_diff(diff, label_a=args.path_a, label_b=args.path_b),
+            file=out,
+        )
+        return 0 if diff["identical"] else 1
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_obs(args, out) -> int:
@@ -617,6 +732,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "loadgen":
         return _cmd_loadgen(args, out)
+    if args.command == "ledger":
+        return _cmd_ledger(args, out)
     if args.command == "obs":
         return _cmd_obs(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -162,6 +162,15 @@ class EngineConfig:
         ``False`` falls back to per-context ``driver.receive`` -- the
         ``repro engine run --no-runtime-batch`` escape hatch and the
         A/B lever of the ``runtime_batch`` benchmark column.
+    ledger_path:
+        When set, the run writes an immutable decision ledger (see
+        :mod:`repro.ledger`) to this JSONL path: every arrival,
+        detection and verdict hash-chained under the run's
+        ``ruleset_hash``.  Works in every mode -- local/process runs
+        merge per-shard segments into the same deterministic global
+        order as the merged events.
+    ledger_fsync:
+        Force-fsync every ledger flush (durability over throughput).
     """
 
     shards: int = 4
@@ -173,6 +182,8 @@ class EngineConfig:
     fault: FaultConfig = field(default_factory=FaultConfig)
     kernels: bool = True
     runtime_batch: bool = True
+    ledger_path: Optional[str] = None
+    ledger_fsync: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:

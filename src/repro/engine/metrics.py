@@ -23,6 +23,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
 
+from ..obs.sidecar import atomic_write_text
+
 __all__ = ["ShardStats", "EngineMetrics", "write_bench_json"]
 
 _log = logging.getLogger("repro.engine")
@@ -193,8 +195,9 @@ def write_bench_json(
         )
         document = {}
     document[workload] = record
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    # Atomic replace: a crash mid-write must not destroy the merged
+    # history of every other workload's records.
+    atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
     return document

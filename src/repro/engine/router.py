@@ -37,13 +37,23 @@ class ContextRouter:
         #: Routing decisions per shard, for load diagnostics.
         self.routed: Dict[int, int] = {i: 0 for i in range(self.shards)}
 
-    def route(self, ctx: Context) -> int:
-        """The shard that must (or may) process ``ctx``."""
+    def shard_for(self, ctx: Context) -> int:
+        """Pure routing decision for ``ctx`` (no load accounting).
+
+        Observers (the decision ledger's shard attribution) use this to
+        ask "where does this context live?" without inflating the
+        ``routed`` load counters that :meth:`route` maintains.
+        """
         shard = self.partition.shard_of_type(ctx.ctx_type)
         if shard < 0:
             # Unconstrained type: subject-keyed stable spreading.
             key = ctx.subject if ctx.subject else ctx.ctx_type
             shard = _stable_hash(key) % self.shards
+        return shard
+
+    def route(self, ctx: Context) -> int:
+        """The shard that must (or may) process ``ctx``."""
+        shard = self.shard_for(ctx)
         self.routed[shard] += 1
         return shard
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..core.context import Context
+from ..ledger import LedgerRecorder, LedgerWriter
 from ..middleware.bus import (
     ContextDelivered,
     ContextDiscarded,
@@ -81,6 +82,33 @@ class EngineStream:
         self.bus.subscribe(ContextDelivered, self._on_delivered)
         self.bus.subscribe(ContextDiscarded, self._on_discarded)
         self.bus.subscribe(ContextExpired, self._on_expired)
+        # Open sessions record their ledger *live* -- entries hit the
+        # writer as decisions happen, not at close, so a crashed serve
+        # process still leaves a verifiable prefix on disk.
+        self.ledger_writer: Optional[LedgerWriter] = None
+        self._ledger_recorder: Optional[LedgerRecorder] = None
+        if engine.config.ledger_path:
+            bundle.registry.gauge(
+                "repro_ruleset_info",
+                help="Resolution ruleset identity (value is always 1)",
+                labels={"ruleset_hash": engine.ruleset_hash},
+            ).set(1.0)
+            self.ledger_writer = LedgerWriter(
+                engine.config.ledger_path,
+                engine.ruleset_document(),
+                meta={
+                    "host": "engine",
+                    "mode": "stream",
+                    "shards": engine.config.shards,
+                    "kernels": engine.config.kernels,
+                },
+                fsync=engine.config.ledger_fsync,
+                telemetry=bundle,
+            )
+            self._ledger_recorder = LedgerRecorder(
+                self.ledger_writer.append, shard_of=engine.router.shard_for
+            )
+            self._ledger_recorder.attach(self.bus)
 
     # -- bus tallies --------------------------------------------------------
 
@@ -137,6 +165,11 @@ class EngineStream:
         self.bus.unsubscribe(ContextDelivered, self._on_delivered)
         self.bus.unsubscribe(ContextDiscarded, self._on_discarded)
         self.bus.unsubscribe(ContextExpired, self._on_expired)
+        if self._ledger_recorder is not None:
+            self._ledger_recorder.detach()
+            self._ledger_recorder = None
+        if self.ledger_writer is not None:
+            self.ledger_writer.close()
         self.closed = True
 
     def decided(self) -> int:

@@ -1,0 +1,121 @@
+"""Canonical JSON and the ledger's hash primitives.
+
+Every ledger entry is serialized in *canonical* form -- sorted keys,
+compact separators, strict JSON (no bare ``Infinity``/``NaN``) -- so
+one logical entry has exactly one byte representation.  That is what
+makes the hash chain meaningful: re-serializing a parsed entry
+reproduces the bytes that were hashed, so verification never depends
+on how the file happened to be formatted.
+
+Two derived hashes:
+
+* :func:`ruleset_hash` -- identity of a resolution configuration (the
+  constraint DSL texts + strategy config + window semantics).  Two
+  runs with equal ruleset hashes were resolved under the same rules;
+  metrics and ledgers stamped with it are attributable to an exact
+  configuration.
+* :func:`chain_hash` -- per-entry chain link
+  ``sha256(prev_hash \\n canonical(entry))``.  Editing, dropping or
+  reordering any entry breaks every later link, which is the ledger's
+  tamper evidence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import partial as _partial
+from typing import Mapping
+
+__all__ = [
+    "GENESIS",
+    "canonical_bytes",
+    "canonical_json",
+    "sha256_hex",
+    "chain_hash",
+    "ruleset_hash",
+]
+
+try:  # already in the toolchain image; never installed by this package
+    import orjson as _orjson
+except ImportError:  # pragma: no cover - exercised via the fallback encoder
+    _orjson = None
+
+#: Chain seed of the first entry (the ruleset header has no predecessor).
+GENESIS = "0" * 64
+
+# json.dumps with non-default options builds a fresh JSONEncoder per
+# call; one shared encoder is reused (encoders are stateless).  This
+# is both the no-orjson canonical form and the strictness validator
+# for the fast path below: ``allow_nan=False`` raises ValueError on
+# non-finite floats, ``ensure_ascii=False`` emits the same raw UTF-8
+# orjson does.
+_STRICT_ENCODE = json.JSONEncoder(
+    ensure_ascii=False, sort_keys=True, separators=(",", ":"), allow_nan=False
+).encode
+
+if _orjson is not None:
+    # Frame-free fast encoder (functools.partial calls are C-level):
+    # orjson with sorted keys matches the stdlib encoder byte-for-byte
+    # on the ledger's value domain (str keys, raw UTF-8, plain-decimal
+    # floats).  Callers MUST pair it with _strict_guard: orjson
+    # silently serializes non-finite floats as ``null`` instead of
+    # raising, so any output containing ``null`` -- rare in decision
+    # entries; legit ``None`` values appear in the once-per-run header
+    # -- is re-validated through the strict stdlib encoder, restoring
+    # the ``ValueError``-on-NaN contract (context records sentinel
+    # infinite lifespans as the string ``"Infinity"`` first, see
+    # :func:`repro.middleware.trace.context_record`).
+    _fast_dumps = _partial(_orjson.dumps, option=_orjson.OPT_SORT_KEYS)
+
+    def _strict_guard(obj: object) -> None:
+        _STRICT_ENCODE(obj)
+
+else:  # pragma: no cover - the image ships orjson; this is the gate
+
+    def _fast_dumps(obj: object) -> bytes:
+        return _STRICT_ENCODE(obj).encode("utf-8")
+
+    def _strict_guard(obj: object) -> None:
+        pass  # _fast_dumps is already the strict encoder
+
+
+def canonical_bytes(obj: object) -> bytes:
+    """Canonical form as UTF-8 bytes (the writer's hot path).
+
+    Strict JSON: out-of-range floats raise ``ValueError`` instead of
+    serializing as the non-standard ``Infinity``/``NaN`` tokens (or
+    orjson's silent ``null``).
+    """
+    out = _fast_dumps(obj)
+    if b"null" in out:
+        _strict_guard(obj)
+    return out
+
+
+def canonical_json(obj: object) -> str:
+    """The single canonical byte form of a JSON-serializable object.
+
+    ``canonical_bytes`` decoded; both views hash identically
+    (:func:`sha256_hex` re-encodes as UTF-8).
+    """
+    return canonical_bytes(obj).decode("utf-8")
+
+
+def sha256_hex(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def chain_hash(prev: str, entry: Mapping[str, object]) -> str:
+    """Chain link for ``entry`` given its predecessor's hash.
+
+    ``entry`` is hashed *without* its own ``h`` field (the writer
+    computes ``h`` from this function; the verifier pops ``h`` and
+    recomputes it).
+    """
+    return sha256_hex(prev + "\n" + canonical_json(entry))
+
+
+def ruleset_hash(ruleset: Mapping[str, object]) -> str:
+    """Identity hash of a ruleset document (see :mod:`.records`)."""
+    return sha256_hex(canonical_json(ruleset))

@@ -1,0 +1,296 @@
+"""Event-stream recording: lifecycle bus events -> ledger entries.
+
+Since ISSUE 5 every host -- the single-pool middleware, the inline /
+local / process engine shards and the serving front-door -- runs the
+one canonical :class:`~repro.runtime.pipeline.ResolutionPipeline`,
+which publishes the full lifecycle vocabulary on its event bus.  The
+recorder converts that stream into ledger entries, so wiring a ledger
+into a new host costs one bus subscription, never new stage logic.
+
+Two consumption styles:
+
+* **live** -- :meth:`LedgerRecorder.attach` subscribes to a bus and
+  feeds a sink per event (the serving front-door's open stream, the
+  middleware's :class:`~repro.ledger.service.LedgerService`);
+* **post-hoc** -- :func:`entries_from_events` converts a recorded
+  event list (a shard's :class:`~repro.engine.shard.ShardRunResult`
+  ``events``) into one per-shard *segment*, and
+  :func:`merge_segments` interleaves segments into the deterministic
+  global order -- the same ``(at, shard, seq)`` k-way merge
+  :func:`repro.engine.merge.merge_events` applies to the events
+  themselves, so the merged ledger's decision order is byte-identical
+  to the merged :class:`~repro.engine.merge.EngineResult`.
+
+The recorder keeps two small indexes: context -> owning shard (from
+arrivals; popped on terminal verdicts) and context -> implicating
+constraint names (from detections; this is the ``why`` a discard
+entry carries).  Both are bounded by the number of in-flight contexts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.context import Context
+from ..middleware.bus import (
+    ContextAdmitted,
+    ContextDelivered,
+    ContextDiscarded,
+    ContextExpired,
+    ContextMarkedBad,
+    ContextReceived,
+    Event,
+    EventBus,
+    InconsistencyDetected,
+)
+from ..middleware.trace import context_record
+from .records import (
+    KIND_ADMIT,
+    KIND_ARRIVAL,
+    KIND_DELIVER,
+    KIND_DETECTION,
+    KIND_DISCARD,
+    KIND_EXPIRE,
+    KIND_MARK_BAD,
+)
+
+__all__ = ["LedgerRecorder", "entries_from_events", "merge_segments"]
+
+# ContextBuffered is deliberately absent: buffering is mechanical
+# staging, not a verdict (see :mod:`.records`), and at ~one event per
+# context it would dominate the ledger's write cost.
+_SIMPLE_KINDS = (
+    (ContextAdmitted, KIND_ADMIT),
+    (ContextMarkedBad, KIND_MARK_BAD),
+)
+
+
+class LedgerRecorder:
+    """Converts lifecycle events into ledger entry dicts.
+
+    Parameters
+    ----------
+    sink:
+        Called with each produced entry (typically
+        :meth:`~repro.ledger.writer.LedgerWriter.append` or
+        ``list.append``).
+    shard_of:
+        Optional pure ``Context -> shard`` attribution (the engine's
+        :meth:`~repro.engine.router.ContextRouter.shard_for`).  Omitted
+        in single-pool hosts, where every entry is shard ``0``.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[dict], None],
+        *,
+        shard_of: Optional[Callable[[Context], int]] = None,
+    ) -> None:
+        self._sink = sink
+        self._shard_of = shard_of
+        self._shard: Dict[str, int] = {}
+        self._why: Dict[str, List[str]] = {}
+        self._bus: Optional[EventBus] = None
+        # Exact-type dispatch table (an isinstance cascade per event is
+        # measurable on the engine's post-run emission path); unknown
+        # concrete types resolve through isinstance once, then cache.
+        self._dispatch: Dict[type, Optional[Callable[[Event], Optional[dict]]]] = {
+            ContextReceived: self._on_arrival,
+            InconsistencyDetected: self._on_detection,
+            ContextDiscarded: self._on_discard,
+            ContextDelivered: self._on_deliver,
+            ContextExpired: self._on_expire,
+        }
+        for event_type, kind in _SIMPLE_KINDS:
+            self._dispatch[event_type] = self._simple_handler(kind)
+
+    # -- bus lifecycle ------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe to every lifecycle event on ``bus``."""
+        if self._bus is not None:
+            raise ValueError("recorder is already attached to a bus")
+        bus.subscribe(Event, self.observe)
+        self._bus = bus
+
+    def detach(self) -> None:
+        """Drop the bus subscription (idempotent)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(Event, self.observe)
+            self._bus = None
+
+    # -- event conversion ---------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        """Record one event (non-lifecycle events are ignored)."""
+        try:
+            handler = self._dispatch[type(event)]
+        except KeyError:
+            handler = self._resolve(type(event))
+        if handler is None:
+            return  # SituationActivated, SubscriberError, ...
+        entry = handler(event)
+        if entry is not None:
+            self._sink(entry)
+
+    def _resolve(
+        self, event_type: type
+    ) -> Optional[Callable[[Event], Optional[dict]]]:
+        """isinstance-resolve a type not in the table (e.g. a subclass)."""
+        handler = None
+        for known, candidate in list(self._dispatch.items()):
+            if candidate is not None and issubclass(event_type, known):
+                handler = candidate
+                break
+        self._dispatch[event_type] = handler
+        return handler
+
+    def _entry_for(self, event: Event) -> Optional[dict]:
+        """Convert one event without sinking it (the dispatch, exposed)."""
+        handler = self._dispatch.get(type(event)) or self._resolve(type(event))
+        return handler(event) if handler is not None else None
+
+    def _shard_for_id(self, ctx_id: str) -> int:
+        return self._shard.get(ctx_id, 0)
+
+    def _on_arrival(self, event: ContextReceived) -> dict:
+        ctx = event.context
+        shard = self._shard_of(ctx) if self._shard_of is not None else 0
+        self._shard[ctx.ctx_id] = shard
+        return {
+            "at": event.at,
+            "kind": KIND_ARRIVAL,
+            "shard": shard,
+            "ctx": context_record(ctx),
+        }
+
+    def _on_detection(self, event: InconsistencyDetected) -> dict:
+        inconsistency = event.inconsistency
+        contexts = inconsistency.contexts
+        if len(contexts) == 2:
+            # The paper's constraints implicate pairs in practice;
+            # unpacking beats a sort-over-genexp on this hot path.
+            first, second = contexts
+            a, b = first.ctx_id, second.ctx_id
+            ctx_ids = [a, b] if a <= b else [b, a]
+        else:
+            ctx_ids = sorted(c.ctx_id for c in contexts)
+        constraint = inconsistency.constraint
+        for ctx_id in ctx_ids:
+            implicated = self._why.setdefault(ctx_id, [])
+            if constraint not in implicated:
+                implicated.append(constraint)
+        return {
+            "at": event.at,
+            "kind": KIND_DETECTION,
+            "shard": self._shard_for_id(ctx_ids[0]),
+            "constraint": constraint,
+            "ctx_ids": ctx_ids,
+        }
+
+    def _on_discard(self, event: ContextDiscarded) -> dict:
+        ctx_id = event.context.ctx_id
+        return {
+            "at": event.at,
+            "kind": KIND_DISCARD,
+            "shard": self._shard.pop(ctx_id, 0),
+            "ctx_id": ctx_id,
+            "why": self._why.pop(ctx_id, []),
+        }
+
+    def _on_deliver(self, event: ContextDelivered) -> dict:
+        ctx_id = event.context.ctx_id
+        self._why.pop(ctx_id, None)
+        return {
+            "at": event.at,
+            "kind": KIND_DELIVER,
+            "shard": self._shard.pop(ctx_id, 0),
+            "ctx_id": ctx_id,
+        }
+
+    def _on_expire(self, event: ContextExpired) -> dict:
+        ctx_id = event.context.ctx_id
+        self._why.pop(ctx_id, None)
+        return {
+            "at": event.at,
+            "kind": KIND_EXPIRE,
+            "shard": self._shard.pop(ctx_id, 0),
+            "ctx_id": ctx_id,
+        }
+
+    def _simple_handler(self, kind: str) -> Callable[[Event], dict]:
+        def handle(event: Event) -> dict:
+            ctx_id = event.context.ctx_id
+            return {
+                "at": event.at,
+                "kind": kind,
+                "shard": self._shard_for_id(ctx_id),
+                "ctx_id": ctx_id,
+            }
+
+        return handle
+
+
+def _pinned_shard(shard: int) -> Callable[[Context], int]:
+    def shard_of(_ctx: Context) -> int:
+        return shard
+
+    return shard_of
+
+
+def entries_from_events(
+    events: Iterable[Event],
+    *,
+    shard_id: Optional[int] = None,
+    shard_of: Optional[Callable[[Context], int]] = None,
+) -> List[dict]:
+    """Convert a recorded event stream into ledger entries.
+
+    ``shard_id`` pins every entry to one shard (a worker's own event
+    list); ``shard_of`` attributes per context (a globally merged
+    stream).  Exactly one of the two should be given -- neither means
+    single-pool shard ``0``.
+    """
+    if shard_id is not None:
+        if shard_of is not None:
+            raise ValueError("pass shard_id or shard_of, not both")
+        shard_of = _pinned_shard(int(shard_id))
+
+    out: List[dict] = []
+    recorder = LedgerRecorder(out.append, shard_of=shard_of)
+    # Post-hoc conversion is the engine's bulk emission path; running
+    # the dispatch loop here (instead of one observe() call per event)
+    # drops a Python frame per event.  ``None`` handlers mark cached
+    # non-lifecycle types, so missing needs a distinct sentinel.
+    dispatch = recorder._dispatch
+    append = out.append
+    missing = object()
+    for event in events:
+        handler = dispatch.get(type(event), missing)
+        if handler is missing:
+            handler = recorder._resolve(type(event))
+        if handler is not None:
+            entry = handler(event)
+            if entry is not None:
+                append(entry)
+    return out
+
+
+def merge_segments(segments: Sequence[Sequence[dict]]) -> List[dict]:
+    """K-way merge of per-shard entry segments into global order.
+
+    The same deterministic key :func:`repro.engine.merge.merge_events`
+    uses -- ``(at, shard, position)``: each segment is already
+    time-ordered (shard clocks are monotone), ties across shards break
+    lowest shard first, ties within a shard keep segment order.
+    """
+    keyed = []
+    for segment in segments:
+        keyed.append(
+            [
+                (entry["at"], entry["shard"], position, entry)
+                for position, entry in enumerate(segment)
+            ]
+        )
+    return [item[3] for item in heapq.merge(*keyed)]

@@ -1,0 +1,114 @@
+"""The middleware plug-in that records a decision ledger.
+
+Plugging a :class:`LedgerService` into a
+:class:`~repro.middleware.manager.Middleware` makes the run auditable:
+the service derives the ruleset document from the manager's live
+configuration (checker constraints, strategy name, window semantics),
+opens the writer, and records every lifecycle event the pipeline
+publishes.  Unplugging (``middleware.unplug("ledger")``) detaches the
+bus subscription and seals the file.
+
+    middleware = Middleware(checker, make_strategy("drop-bad"), use_window=10)
+    middleware.plug_in(LedgerService("run.ledger.jsonl"))
+    middleware.receive_all(stream)
+    middleware.unplug("ledger")        # flush + close
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Union
+
+from ..middleware.service import MiddlewareService
+from .records import ruleset_document
+from .recorder import LedgerRecorder
+from .writer import LedgerWriter
+
+__all__ = ["LedgerService"]
+
+
+class LedgerService(MiddlewareService):
+    """Records the manager's resolution run into a ledger file.
+
+    Parameters
+    ----------
+    path:
+        Ledger JSONL output path.
+    strategy_kwargs:
+        The kwargs the strategy was built with, for the ruleset
+        document (a live strategy instance only knows its name).
+    registry_factory:
+        The predicate-registry factory of the run, recorded as a
+        replayable spec when possible.
+    meta:
+        Extra header metadata (merged over ``{"host": "middleware"}``).
+    fsync:
+        Force-fsync every ledger flush.
+    buffer_entries:
+        Writer buffer size.
+    """
+
+    name = "ledger"
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        strategy_kwargs: Optional[Mapping[str, object]] = None,
+        registry_factory: Optional[Callable] = None,
+        meta: Optional[Mapping[str, object]] = None,
+        fsync: bool = False,
+        buffer_entries: int = 256,
+    ) -> None:
+        self._path = path
+        self._strategy_kwargs = dict(strategy_kwargs or {})
+        self._registry_factory = registry_factory
+        self._meta = dict(meta or {})
+        self._fsync = fsync
+        self._buffer_entries = buffer_entries
+        self.writer: Optional[LedgerWriter] = None
+        self.recorder: Optional[LedgerRecorder] = None
+
+    @property
+    def ruleset_hash(self) -> Optional[str]:
+        return self.writer.ruleset_hash if self.writer is not None else None
+
+    def on_attach(self, middleware) -> None:
+        detector = middleware.resolution.detector
+        constraints_of = getattr(detector, "constraints", None)
+        constraints = constraints_of() if callable(constraints_of) else ()
+        ruleset = ruleset_document(
+            constraints,
+            strategy=middleware.strategy.name,
+            strategy_kwargs=self._strategy_kwargs,
+            use_window=middleware.use_window,
+            use_delay=middleware.use_delay,
+            registry_factory=self._registry_factory,
+        )
+        meta = {"host": "middleware", "shards": 1}
+        meta.update(self._meta)
+        self.writer = LedgerWriter(
+            self._path,
+            ruleset,
+            meta=meta,
+            fsync=self._fsync,
+            buffer_entries=self._buffer_entries,
+            telemetry=middleware.telemetry,
+        )
+        # Surface the configuration identity in the run's metrics too
+        # (the Prometheus info-metric idiom: constant-1 gauge, identity
+        # in the label).
+        middleware.telemetry.registry.gauge(
+            "repro_ruleset_info",
+            help="Resolution ruleset identity (value is always 1)",
+            labels={"ruleset_hash": self.writer.ruleset_hash},
+        ).set(1.0)
+        self.recorder = LedgerRecorder(self.writer.append)
+        self.recorder.attach(middleware.bus)
+
+    def on_detach(self, middleware) -> None:
+        if self.recorder is not None:
+            self.recorder.detach()
+            self.recorder = None
+        if self.writer is not None:
+            self.writer.close()

@@ -1,0 +1,230 @@
+"""The buffered, hash-chaining, fsync-optional ledger writer.
+
+Hot-path cost is one dict fill + one ``json.dumps`` + one sha256 per
+entry; lines accumulate in an in-memory buffer and hit the file in
+batches (``buffer_entries``), so the arrival path never pays a
+syscall per decision.  ``fsync=True`` additionally forces the page
+cache to disk on every flush -- the durability tier for runs whose
+ledger must survive power loss, at the usual cost.
+
+The writer owns ``seq`` and the chain: entries come in as plain dicts
+(from :mod:`.recorder`), leave as canonical JSON lines stamped with
+``seq`` and ``h = sha256(prev_h + "\\n" + canonical(entry))``.  Line 0
+is always the ruleset header, chained from :data:`~.hashing.GENESIS`.
+
+Accounting lands in the telemetry registry on ``close()`` --
+``ledger_entries_total`` (per kind), ``ledger_bytes_total``,
+``ledger_flushes_total`` -- so a run's sidecar shows what its ledger
+cost (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from binascii import hexlify
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Union
+
+from .hashing import (
+    GENESIS,
+    _fast_dumps,
+    _strict_guard,
+    canonical_bytes,
+    ruleset_hash,
+)
+from .records import KIND_RULESET, LEDGER_VERSION
+
+__all__ = ["LedgerWriter"]
+
+
+class LedgerWriter:
+    """Append-only writer for one ledger file.
+
+    Parameters
+    ----------
+    path:
+        Output JSONL file (parent directories are created; an existing
+        file is truncated -- a ledger records exactly one run).
+    ruleset:
+        The :func:`~.records.ruleset_document` of the run; written as
+        the header entry and hashed into :attr:`ruleset_hash`.
+    meta:
+        Free-form run metadata for the header (host, mode, shards,
+        kernels, app...).  Not part of the ruleset hash.
+    fsync:
+        Force ``os.fsync`` after every buffer flush.
+    buffer_entries:
+        Entries buffered in memory between file writes.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`; ledger accounting is
+        recorded into its registry on close.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        ruleset: Mapping[str, object],
+        *,
+        meta: Optional[Mapping[str, object]] = None,
+        fsync: bool = False,
+        buffer_entries: int = 256,
+        telemetry=None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.ruleset = dict(ruleset)
+        self.ruleset_hash = ruleset_hash(self.ruleset)
+        self.fsync = bool(fsync)
+        self.seq = 0
+        self.bytes_written = 0
+        self.flushes = 0
+        self.closed = False
+        # The chain state is kept as ASCII hex bytes so the hot loop
+        # hashes and splices without str<->bytes round-trips.
+        self._prev = GENESIS.encode("ascii")
+        # The buffer holds line *pieces* (body, h-splice, hash, tail),
+        # joined once per flush -- cheaper than concatenating each
+        # line into its own bytes object.  ``_pending`` counts whole
+        # entries, since ``len(self._buffer)`` no longer does.
+        self._buffer: list = []
+        self._pending = 0
+        self._buffer_entries = max(1, int(buffer_entries))
+        # Raw kind of every appended entry; tallied once at close
+        # (a list append is cheaper than a dict upsert per entry).
+        self._kinds: list = []
+        self._telemetry = telemetry
+        self._handle = open(self.path, "wb")
+        self._append(
+            {
+                "at": 0.0,
+                "kind": KIND_RULESET,
+                "ledger_version": LEDGER_VERSION,
+                "meta": dict(meta or {}),
+                "ruleset": self.ruleset,
+                "ruleset_hash": self.ruleset_hash,
+            }
+        )
+
+    # -- appending ----------------------------------------------------------
+
+    def append(self, entry: Mapping[str, object]) -> None:
+        """Chain and buffer one entry (``seq``/``h`` are assigned here)."""
+        self._append(dict(entry))
+
+    def append_many(
+        self, entries: Iterable[Mapping[str, object]], *, copy: bool = True
+    ) -> None:
+        """Bulk :meth:`append` with the per-entry attribute traffic hoisted.
+
+        This is the engine's post-run emission path (thousands of
+        entries in one call), so the chain loop binds its state
+        locally and inlines the hash; semantics are identical to
+        repeated :meth:`append`.  ``copy=False`` lets a caller that
+        owns the entry dicts skip the defensive copy (each entry is
+        then mutated with its ``seq``).
+        """
+        if self.closed:
+            raise ValueError(f"ledger {self.path} is closed")
+        encode = _fast_dumps  # C-level call; null outputs re-validated below
+        sha256 = hashlib.sha256
+        tohex = hexlify
+        buffer_extend = self._buffer.extend
+        kinds_append = self._kinds.append
+        limit = self._buffer_entries
+        prev = self._prev
+        seq = self.seq
+        pending = self._pending
+        try:
+            for entry in entries:
+                if copy:
+                    entry = dict(entry)
+                entry["seq"] = seq
+                body = encode(entry)
+                if b"null" in body:
+                    _strict_guard(entry)
+                prev = tohex(sha256(prev + b"\n" + body).digest())
+                buffer_extend((body[:-1], b',"h":"', prev, b'"}\n'))
+                seq += 1
+                pending += 1
+                kinds_append(entry.get("kind"))
+                if pending >= limit:
+                    self._prev = prev
+                    self.seq = seq
+                    self._pending = pending
+                    self.flush()
+                    pending = 0
+        finally:
+            self._prev = prev
+            self.seq = seq
+            self._pending = pending
+
+    def _append(self, entry: dict) -> None:
+        if self.closed:
+            raise ValueError(f"ledger {self.path} is closed")
+        entry["seq"] = self.seq
+        body = canonical_bytes(entry)
+        h = hexlify(hashlib.sha256(self._prev + b"\n" + body).digest())
+        # The line keeps the canonical body and tacks ``h`` on at the
+        # end; verification canonicalizes after parsing, so the stored
+        # key order is free and the body is serialized exactly once.
+        self._buffer.extend((body[:-1], b',"h":"', h, b'"}\n'))
+        self._prev = h
+        self.seq += 1
+        self._pending += 1
+        self._kinds.append(entry.get("kind"))
+        if self._pending >= self._buffer_entries:
+            self.flush()
+
+    # -- flushing / closing -------------------------------------------------
+
+    def flush(self) -> None:
+        """Write buffered lines through (and fsync when configured)."""
+        if not self._buffer:
+            return
+        blob = b"".join(self._buffer)
+        self._buffer.clear()
+        self._pending = 0
+        self._handle.write(blob)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.bytes_written += len(blob)
+        self.flushes += 1
+
+    def close(self) -> None:
+        """Flush, record the ledger accounting, release the file handle.
+
+        Idempotent; the writer cannot append afterwards.
+        """
+        if self.closed:
+            return
+        self.flush()
+        self._handle.close()
+        self.closed = True
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            counts = Counter(
+                "?" if kind is None else str(kind) for kind in self._kinds
+            )
+            for kind, count in sorted(counts.items()):
+                registry.counter(
+                    "ledger_entries_total",
+                    help="Decision-ledger entries written, by kind",
+                    labels={"kind": kind},
+                ).inc(count)
+            registry.counter(
+                "ledger_bytes_total",
+                help="Bytes appended to the decision ledger",
+            ).inc(self.bytes_written)
+            registry.counter(
+                "ledger_flushes_total",
+                help="Buffered ledger flushes (file writes)",
+            ).inc(self.flushes)
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -24,35 +24,42 @@ from typing import Iterable, Iterator, Union
 
 from ..core.context import Context
 
-__all__ = ["dump_context", "load_context", "write_trace", "read_trace"]
+__all__ = [
+    "context_record",
+    "context_from_record",
+    "dump_context",
+    "load_context",
+    "write_trace",
+    "read_trace",
+]
 
 _INF = "Infinity"
 
 
-def dump_context(ctx: Context) -> str:
-    """One context as a JSON line (no trailing newline)."""
-    record = {
+def context_record(ctx: Context) -> dict:
+    """One context as a plain JSON-serializable dict.
+
+    The dict-level counterpart of :func:`dump_context`: the decision
+    ledger (:mod:`repro.ledger`) embeds context records inside its
+    arrival entries, so arrivals and traces share one wire format
+    (infinite lifespans become the ``"Infinity"`` sentinel, tuple
+    values survive as lists).
+    """
+    return {
         "ctx_id": ctx.ctx_id,
         "ctx_type": ctx.ctx_type,
         "subject": ctx.subject,
-        "value": ctx.value,
+        "value": list(ctx.value) if isinstance(ctx.value, tuple) else ctx.value,
         "timestamp": ctx.timestamp,
         "lifespan": _INF if math.isinf(ctx.lifespan) else ctx.lifespan,
         "source": ctx.source,
         "corrupted": ctx.corrupted,
-        "attributes": list(ctx.attributes),
+        "attributes": [list(pair) for pair in ctx.attributes],
     }
-    try:
-        return json.dumps(record, sort_keys=True)
-    except TypeError as error:
-        raise ValueError(
-            f"context {ctx.ctx_id!r} is not trace-serializable: {error}"
-        ) from None
 
 
-def load_context(line: str) -> Context:
-    """Parse one JSON line back into a Context."""
-    record = json.loads(line)
+def context_from_record(record: dict) -> Context:
+    """Rebuild a Context from a :func:`context_record` dict."""
     value = record["value"]
     if isinstance(value, list):
         value = tuple(value)
@@ -70,6 +77,21 @@ def load_context(line: str) -> Context:
         corrupted=record["corrupted"],
         attributes=tuple((k, v) for k, v in record["attributes"]),
     )
+
+
+def dump_context(ctx: Context) -> str:
+    """One context as a JSON line (no trailing newline)."""
+    try:
+        return json.dumps(context_record(ctx), sort_keys=True)
+    except TypeError as error:
+        raise ValueError(
+            f"context {ctx.ctx_id!r} is not trace-serializable: {error}"
+        ) from None
+
+
+def load_context(line: str) -> Context:
+    """Parse one JSON line back into a Context."""
+    return context_from_record(json.loads(line))
 
 
 def write_trace(contexts: Iterable[Context], path: Union[str, Path]) -> int:

@@ -27,6 +27,7 @@ from .registry import (
 )
 from .service import TelemetryService
 from .sidecar import (
+    atomic_write_text,
     read_sidecar,
     sidecar_slowest_spans,
     sidecar_summary,
@@ -52,6 +53,7 @@ __all__ = [
     "prometheus_text",
     "json_text",
     "registry_prometheus",
+    "atomic_write_text",
     "write_sidecar",
     "read_sidecar",
     "sidecar_summary",

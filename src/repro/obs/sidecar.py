@@ -12,12 +12,14 @@ through :func:`read_sidecar`.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
 
 from .telemetry import STAGE_HISTOGRAM, Telemetry
 
 __all__ = [
+    "atomic_write_text",
     "write_sidecar",
     "read_sidecar",
     "sidecar_summary",
@@ -29,13 +31,33 @@ __all__ = [
 SIDECAR_VERSION = 1
 
 
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader never observes a half-written file and a crash mid-write
+    leaves the previous version intact -- JSON artifacts (sidecars,
+    BENCH files) are replaced whole or not at all.  The temp file lives
+    in the target directory (``os.replace`` must not cross
+    filesystems) under a pid-unique name, and is cleaned up on failure.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def write_sidecar(
     path: Union[str, Path],
     telemetry: Telemetry,
     *,
     meta: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
-    """Write one telemetry sidecar; returns the document written."""
+    """Write one telemetry sidecar (atomically); returns the document."""
     snapshot = telemetry.snapshot()
     document: Dict[str, object] = {
         "version": SIDECAR_VERSION,
@@ -44,10 +66,8 @@ def write_sidecar(
         "span_counts": snapshot["trace"]["counts"],  # type: ignore[index]
         "spans": snapshot["trace"]["spans"],  # type: ignore[index]
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
     return document
 
@@ -109,6 +129,25 @@ def sidecar_summary(document: Mapping[str, object]) -> str:
         lines.append("")
         lines.append("Counters:")
         for entry in counters:
+            labels = dict(entry.get("labels") or {})  # type: ignore[arg-type]
+            label_text = (
+                " {" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            lines.append(
+                f"  {entry['name']}{label_text}: {entry.get('value', 0):g}"
+            )
+
+    gauges = [
+        entry
+        for entry in series
+        if families.get(str(entry["name"]), {}).get("type") == "gauge"  # type: ignore[union-attr]
+    ]
+    if gauges:
+        lines.append("")
+        lines.append("Gauges:")
+        for entry in gauges:
             labels = dict(entry.get("labels") or {})  # type: ignore[arg-type]
             label_text = (
                 " {" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"

@@ -60,11 +60,15 @@ def build_app_engine(
     strategy: str = "drop-bad",
     use_window: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    ledger_path: Optional[str] = None,
+    ledger_fsync: bool = False,
 ):
     """A :class:`~repro.engine.facade.ShardedEngine` for one app.
 
     Inline mode: the front-door's pump feeds an in-process stream, so
     worker processes would only add serialization overhead here.
+    ``ledger_path`` records the session's decision ledger (live, via
+    the open stream's recorder).
     """
     from ..engine import EngineConfig, ShardedEngine
 
@@ -80,6 +84,8 @@ def build_app_engine(
         shards=shards,
         mode="inline",
         use_window=use_window if use_window is not None else default_window,
+        ledger_path=ledger_path,
+        ledger_fsync=ledger_fsync,
     )
     return ShardedEngine(
         checker.constraints(),

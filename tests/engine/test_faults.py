@@ -22,6 +22,7 @@ from repro.engine import (
     ShardedEngine,
 )
 from repro.engine.workload import scalability_workload
+from repro.ledger import ledger_signature, read_ledger, verify_ledger
 from repro.obs import Telemetry
 
 from .faults import EveryShardOnce, ScheduledFault
@@ -54,7 +55,7 @@ def fault_config(**overrides):
 
 
 def run_engine(workload, *, mode="process", injector=None, fault=None,
-               telemetry=None, shards=SHARDS):
+               telemetry=None, shards=SHARDS, ledger_path=None):
     constraints, contexts = workload
     engine = ShardedEngine(
         constraints,
@@ -65,6 +66,7 @@ def run_engine(workload, *, mode="process", injector=None, fault=None,
             use_delay=5.0,  # time windows: the decomposable window kind
             batch_size=16,
             fault=fault or fault_config(),
+            ledger_path=str(ledger_path) if ledger_path else None,
         ),
         telemetry=telemetry,
         fault_injector=injector,
@@ -119,6 +121,49 @@ class TestCrashRecovery:
         )
         assert faulty.decision_signature() == inline.decision_signature()
         assert faulty.metrics.worker_restarts >= 1
+
+
+class TestLedgerUnderFaults:
+    def test_crash_replay_ledger_has_no_duplicate_or_missing_decisions(
+        self, workload, tmp_path
+    ):
+        # Checkpointed replay re-executes batches inside the respawned
+        # worker; the merged ledger must still record each context's
+        # arrival and verdict exactly once -- replay is invisible in
+        # the audit trail, not double-counted in it.
+        path = tmp_path / "faulty.jsonl"
+        result = run_engine(
+            workload, injector=EveryShardOnce(at_batch=1), ledger_path=path
+        )
+        assert result.metrics.worker_restarts >= SHARDS
+        check = verify_ledger(str(path))
+        assert check.ok, check.summary()
+        entries = read_ledger(str(path))
+        arrivals = [e["ctx"]["ctx_id"] for e in entries if e["kind"] == "arrival"]
+        assert len(arrivals) == N_CONTEXTS
+        assert len(set(arrivals)) == N_CONTEXTS
+        verdicts = [
+            e["ctx_id"]
+            for e in entries
+            if e["kind"] in ("deliver", "discard", "expire")
+        ]
+        assert len(verdicts) == N_CONTEXTS
+        assert len(set(verdicts)) == N_CONTEXTS
+        # And the decisions the ledger tells are the ones the run made.
+        assert ledger_signature(entries) == result.decision_signature()
+
+    def test_faulty_ledger_matches_a_clean_run_ledger(self, workload, tmp_path):
+        clean_path = tmp_path / "clean.jsonl"
+        faulty_path = tmp_path / "faulty.jsonl"
+        run_engine(workload, ledger_path=clean_path)
+        run_engine(
+            workload,
+            injector=EveryShardOnce(at_batch=1),
+            ledger_path=faulty_path,
+        )
+        clean = ledger_signature(read_ledger(str(clean_path)))
+        faulty = ledger_signature(read_ledger(str(faulty_path)))
+        assert clean == faulty
 
 
 class TestHangRecovery:

@@ -1,0 +1,1 @@
+"""Decision-ledger suite: hashing, recording, verification, replay."""

@@ -1,0 +1,85 @@
+"""Audit readers: explain (causal story) and diff (run comparison)."""
+
+import pytest
+
+from repro.engine import EngineConfig, ShardedEngine
+from repro.ledger import (
+    diff_ledgers,
+    explain_context,
+    format_diff,
+    read_ledger,
+)
+
+from tests.runtime import _streams
+
+
+def record(tmp_path, name, *, strategy=None, kernels=True):
+    constraints, registry_factory, stream, base_strategy, use_window = (
+        _streams.app_inputs("rfid")
+    )
+    path = tmp_path / f"{name}.jsonl"
+    engine = ShardedEngine(
+        constraints,
+        strategy=strategy or base_strategy,
+        registry_factory=registry_factory,
+        config=EngineConfig(
+            shards=2,
+            use_window=use_window,
+            kernels=kernels,
+            ledger_path=str(path),
+        ),
+    )
+    engine.run(stream)
+    return read_ledger(str(path))
+
+
+@pytest.fixture(scope="module")
+def entries(tmp_path_factory):
+    return record(tmp_path_factory.mktemp("ledger"), "base")
+
+
+class TestExplain:
+    def test_discarded_context_story_names_the_constraints(self, entries):
+        discard = next(e for e in entries if e["kind"] == "discard" and e["why"])
+        story = explain_context(entries, discard["ctx_id"])
+        assert discard["ctx_id"] in story
+        assert "arrived" in story
+        assert "implicated by constraint" in story
+        assert "DISCARDED" in story
+        for constraint in discard["why"]:
+            assert constraint in story
+
+    def test_delivered_context_story(self, entries):
+        deliver = next(e for e in entries if e["kind"] == "deliver")
+        story = explain_context(entries, deliver["ctx_id"])
+        assert "DELIVERED" in story
+
+    def test_unknown_context(self, entries):
+        assert "no record" in explain_context(entries, "nope-404")
+
+
+class TestDiff:
+    def test_identical_runs(self, entries, tmp_path):
+        other = record(tmp_path, "again")
+        diff = diff_ledgers(entries, other)
+        assert diff["same_ruleset"] and diff["identical"]
+        assert diff["first_divergence"] is None
+        assert diff["changed_verdicts"] == {}
+        assert "identical" in format_diff(diff)
+
+    def test_kernels_off_run_is_diffably_identical(self, entries, tmp_path):
+        # The ruleset hash excludes execution knobs exactly so this
+        # comparison is meaningful.
+        other = record(tmp_path, "nokernels", kernels=False)
+        diff = diff_ledgers(entries, other)
+        assert diff["same_ruleset"] and diff["identical"]
+
+    def test_different_strategy_diverges(self, entries, tmp_path):
+        other = record(tmp_path, "latest", strategy="drop-latest")
+        diff = diff_ledgers(entries, other)
+        assert not diff["same_ruleset"]
+        assert not diff["identical"]
+        assert diff["first_divergence"] is not None
+        assert diff["changed_verdicts"]
+        text = format_diff(diff, label_a="bad", label_b="latest")
+        assert "DIFFERENT" in text and "DIVERGENT" in text

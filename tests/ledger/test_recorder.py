@@ -1,0 +1,163 @@
+"""Event recording and deterministic segment merging.
+
+Every host publishes the same lifecycle vocabulary, so the recorder
+must produce equivalent ledgers wherever it listens: the middleware's
+plug-in, the inline engine's post-hoc conversion, and the per-shard
+segments of local/process runs merged back into global order.
+"""
+
+import pytest
+
+from repro.constraints.checker import ConstraintChecker
+from repro.core.strategy import make_strategy
+from repro.engine import EngineConfig, ShardedEngine
+from repro.ledger import (
+    LedgerRecorder,
+    LedgerService,
+    diff_ledgers,
+    entries_from_events,
+    ledger_signature,
+    merge_segments,
+    read_ledger,
+    verify_ledger,
+)
+from repro.middleware.manager import Middleware
+
+from tests.runtime import _streams
+
+APP = "rfid"
+
+
+@pytest.fixture(scope="module")
+def app_case():
+    return _streams.app_inputs(APP)
+
+
+def engine_ledger(app_case, tmp_path, *, mode, shards=_streams.APP_SHARDS):
+    constraints, registry_factory, stream, strategy, use_window = app_case
+    path = tmp_path / f"{mode}.jsonl"
+    engine = ShardedEngine(
+        constraints,
+        strategy=strategy,
+        registry_factory=registry_factory,
+        config=EngineConfig(
+            shards=shards,
+            mode=mode,
+            use_window=use_window,
+            ledger_path=str(path),
+        ),
+    )
+    result = engine.run(stream)
+    return read_ledger(str(path)), result
+
+
+def middleware_ledger(app_case, tmp_path):
+    constraints, registry_factory, stream, strategy, use_window = app_case
+    path = tmp_path / "middleware.jsonl"
+    middleware = Middleware(
+        ConstraintChecker(constraints, registry=registry_factory()),
+        make_strategy(strategy),
+        use_window=use_window,
+    )
+    service = LedgerService(str(path), registry_factory=registry_factory)
+    middleware.plug_in(service)
+    middleware.receive_all(stream)
+    middleware.unplug("ledger")
+    return read_ledger(str(path))
+
+
+class TestHostEquivalence:
+    def test_middleware_and_engine_record_identical_decisions(
+        self, app_case, tmp_path
+    ):
+        mw_entries = middleware_ledger(app_case, tmp_path)
+        for mode in ("inline", "local", "process"):
+            entries, result = engine_ledger(app_case, tmp_path, mode=mode)
+            assert verify_ledger(entries).ok
+            diff = diff_ledgers(mw_entries, entries)
+            assert diff["same_ruleset"], mode
+            assert diff["identical"], (mode, diff)
+            # The ledger signature IS the run's decision signature.
+            assert ledger_signature(entries) == result.decision_signature()
+
+    def test_every_host_emits_one_entry_per_lifecycle_event(
+        self, app_case, tmp_path
+    ):
+        stream = app_case[2]
+        entries, result = engine_ledger(app_case, tmp_path, mode="inline")
+        arrivals = [e for e in entries if e["kind"] == "arrival"]
+        assert len(arrivals) == len(stream)
+        terminal = [
+            e for e in entries if e["kind"] in ("deliver", "discard", "expire")
+        ]
+        assert len(terminal) == len(stream)
+        assert len({e["ctx_id"] for e in terminal}) == len(stream)
+
+
+class TestShardAttribution:
+    def test_local_segments_merge_to_inline_order(self, app_case, tmp_path):
+        inline, _ = engine_ledger(app_case, tmp_path, mode="inline")
+        local, _ = engine_ledger(app_case, tmp_path, mode="local")
+        # Same decision stream AND same shard attribution per context:
+        # the inline recorder asks the router, the local path pins each
+        # worker's own shard id -- they must agree.
+        def key(entries):
+            return [
+                (e["kind"], e.get("ctx_id"), e["shard"])
+                for e in entries[1:]
+                if e["kind"] in ("arrival", "deliver", "discard")
+            ]
+
+        assert key(inline) == key(local)
+
+    def test_merge_segments_is_the_event_merge_order(self):
+        segments = [
+            [
+                {"at": 1.0, "shard": 0, "kind": "admit", "ctx_id": "a"},
+                {"at": 3.0, "shard": 0, "kind": "deliver", "ctx_id": "a"},
+            ],
+            [
+                {"at": 1.0, "shard": 1, "kind": "admit", "ctx_id": "b"},
+                {"at": 2.0, "shard": 1, "kind": "deliver", "ctx_id": "b"},
+            ],
+        ]
+        merged = merge_segments(segments)
+        assert [(e["at"], e["shard"]) for e in merged] == [
+            (1.0, 0),
+            (1.0, 1),
+            (2.0, 1),
+            (3.0, 0),
+        ]
+
+
+class TestRecorderApi:
+    def test_entries_from_events_rejects_both_shard_args(self):
+        with pytest.raises(ValueError):
+            entries_from_events([], shard_id=0, shard_of=lambda ctx: 0)
+
+    def test_attach_twice_raises(self):
+        from repro.middleware.bus import EventBus
+
+        recorder = LedgerRecorder(lambda entry: None)
+        bus = EventBus()
+        recorder.attach(bus)
+        with pytest.raises(ValueError):
+            recorder.attach(EventBus())
+        recorder.detach()
+        recorder.detach()  # idempotent
+        recorder.attach(bus)  # reattachable after detach
+        recorder.detach()
+
+    def test_discard_why_names_the_implicating_constraints(
+        self, app_case, tmp_path
+    ):
+        entries, _ = engine_ledger(app_case, tmp_path, mode="inline")
+        constraint_names = {
+            c["name"] for c in entries[0]["ruleset"]["constraints"]
+        }
+        discards = [e for e in entries if e["kind"] == "discard"]
+        assert discards
+        explained = [e for e in discards if e["why"]]
+        assert explained, "no discard carries a why"
+        for entry in explained:
+            assert set(entry["why"]) <= constraint_names

@@ -1,0 +1,135 @@
+"""Writer + verification: the tamper-evidence contract.
+
+A written ledger must verify; any edit, drop, reorder or header
+forgery must be detected from the file alone.  An honest *prefix*
+(tail truncation, e.g. a crashed live recorder) still verifies -- the
+chain proves what it covers, not that the run finished.
+"""
+
+import json
+
+import pytest
+
+from repro.ledger import (
+    LedgerWriter,
+    read_ledger,
+    ruleset_document,
+    verify_ledger,
+)
+from repro.obs import Telemetry
+
+
+def small_ruleset():
+    return ruleset_document([], strategy="drop-latest", use_window=2)
+
+
+def write_sample(path, n=5, **kwargs):
+    with LedgerWriter(path, small_ruleset(), **kwargs) as writer:
+        for i in range(n):
+            writer.append(
+                {"at": float(i), "kind": "admit", "shard": 0, "ctx_id": f"c{i}"}
+            )
+    return path
+
+
+class TestWriter:
+    def test_written_ledger_verifies(self, tmp_path):
+        path = write_sample(tmp_path / "run.jsonl")
+        result = verify_ledger(str(path))
+        assert result.ok, result.summary()
+        assert result.entries == 6  # header + 5
+
+    def test_header_carries_ruleset_and_meta(self, tmp_path):
+        path = write_sample(tmp_path / "run.jsonl", meta={"host": "test"})
+        header = read_ledger(str(path))[0]
+        assert header["kind"] == "ruleset"
+        assert header["meta"] == {"host": "test"}
+        assert header["ruleset"]["strategy"] == "drop-latest"
+        assert header["seq"] == 0
+
+    def test_append_after_close_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = LedgerWriter(path, small_ruleset())
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError):
+            writer.append({"at": 0.0, "kind": "admit", "shard": 0, "ctx_id": "c"})
+
+    def test_fsync_mode_writes_identical_content(self, tmp_path):
+        plain = write_sample(tmp_path / "plain.jsonl")
+        synced = write_sample(tmp_path / "synced.jsonl", fsync=True)
+        assert plain.read_text() == synced.read_text()
+
+    def test_buffering_only_hits_disk_on_flush(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = LedgerWriter(path, small_ruleset(), buffer_entries=1000)
+        writer.append({"at": 0.0, "kind": "admit", "shard": 0, "ctx_id": "c"})
+        assert path.read_text() == ""
+        writer.flush()
+        assert len(path.read_text().splitlines()) == 2
+        writer.close()
+
+    def test_telemetry_counters(self, tmp_path):
+        telemetry = Telemetry(enabled=True)
+        write_sample(tmp_path / "run.jsonl", n=3, telemetry=telemetry)
+        registry = telemetry.registry
+        assert registry.value("ledger_entries_total", {"kind": "ruleset"}) == 1
+        assert registry.value("ledger_entries_total", {"kind": "admit"}) == 3
+        assert registry.value("ledger_bytes_total") > 0
+        assert registry.value("ledger_flushes_total") >= 1
+
+
+def rewrite(path, lines):
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+
+
+class TestTamperEvidence:
+    @pytest.fixture
+    def ledger(self, tmp_path):
+        path = write_sample(tmp_path / "run.jsonl")
+        return path, path.read_text().splitlines()
+
+    def test_edited_value_breaks_the_chain(self, ledger):
+        path, lines = ledger
+        lines[2] = lines[2].replace('"ctx_id":"c1"', '"ctx_id":"c9"')
+        rewrite(path, lines)
+        result = verify_ledger(str(path))
+        assert not result.ok
+        assert "entry 2" in result.summary()
+
+    def test_dropped_entry_is_detected(self, ledger):
+        path, lines = ledger
+        del lines[3]
+        rewrite(path, lines)
+        assert not verify_ledger(str(path)).ok
+
+    def test_reordered_entries_are_detected(self, ledger):
+        path, lines = ledger
+        lines[2], lines[3] = lines[3], lines[2]
+        rewrite(path, lines)
+        assert not verify_ledger(str(path)).ok
+
+    def test_forged_header_ruleset_is_detected(self, ledger):
+        path, lines = ledger
+        header = json.loads(lines[0])
+        header["ruleset"]["strategy"] = "drop-all"
+        # Keep the stored h intact: the forger edited the embedded
+        # ruleset but cannot recompute the advertised ruleset_hash
+        # without changing it (which downstream consumers pinned).
+        lines[0] = json.dumps(header, sort_keys=True, separators=(",", ":"))
+        rewrite(path, lines)
+        assert not verify_ledger(str(path)).ok
+
+    def test_truncated_tail_is_an_honest_prefix(self, ledger):
+        path, lines = ledger
+        rewrite(path, lines[:3])
+        result = verify_ledger(str(path))
+        assert result.ok
+        assert result.entries == 3
+
+    def test_empty_file_fails(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        result = verify_ledger(str(path))
+        assert not result.ok
+        assert "empty" in result.summary()

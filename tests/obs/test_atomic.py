@@ -1,0 +1,119 @@
+"""Atomic JSON artifact writes + ruleset identity in sidecars.
+
+``atomic_write_text`` is the crash-safety primitive behind telemetry
+sidecars and BENCH files: a failed write must leave the previous
+version byte-intact and no temp droppings behind.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import EngineConfig, ShardedEngine
+from repro.engine.metrics import write_bench_json
+from repro.engine.workload import scalability_workload
+from repro.obs import Telemetry, atomic_write_text, sidecar_summary, write_sidecar
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "artifact.json"
+        atomic_write_text(path, "x")
+        assert path.read_text() == "x"
+
+    def test_crash_during_replace_preserves_old_content(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "precious")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at the replace boundary")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "half-written garbage")
+        monkeypatch.undo()
+        assert path.read_text() == "precious"
+        # The failed attempt's temp file was cleaned up.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_crash_during_temp_write_leaves_no_droppings(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "precious")
+        real_write_text = Path.write_text
+
+        def exploding_write_text(self, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                real_write_text(self, "partial", encoding="utf-8")
+                raise OSError("simulated crash mid-write")
+            return real_write_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "write_text", exploding_write_text)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "doomed")
+        monkeypatch.undo()
+        assert path.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestArtifactWritersAreAtomic:
+    def test_write_sidecar_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "TELEMETRY_test.json"
+        write_sidecar(path, Telemetry(enabled=True), meta={"k": "v"})
+        assert json.loads(path.read_text())["meta"] == {"k": "v"}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_write_bench_json_crash_preserves_other_workloads(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "BENCH_engine.json"
+        write_bench_json(path, "workload_a", {"metric": 1})
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            write_bench_json(path, "workload_b", {"metric": 2})
+        monkeypatch.undo()
+        document = json.loads(path.read_text())
+        assert document == {"workload_a": {"metric": 1}}
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestRulesetInfoInTelemetry:
+    def test_engine_run_stamps_the_info_gauge(self, tmp_path):
+        constraints, contexts = scalability_workload(
+            60, scope_groups=2, types_per_group=2
+        )
+        telemetry = Telemetry(enabled=True)
+        engine = ShardedEngine(
+            constraints,
+            config=EngineConfig(shards=2, use_window=4),
+            telemetry=telemetry,
+        )
+        engine.run(contexts)
+        labels = telemetry.registry.series_labels("repro_ruleset_info")
+        assert labels == [{"ruleset_hash": engine.ruleset_hash}]
+        assert (
+            telemetry.registry.value("repro_ruleset_info", labels[0]) == 1.0
+        )
+        # ... and it survives into the sidecar + `repro obs summary`.
+        path = tmp_path / "TELEMETRY_test.json"
+        write_sidecar(path, telemetry)
+        summary = sidecar_summary(json.loads(path.read_text()))
+        assert "Gauges:" in summary
+        assert engine.ruleset_hash in summary
