@@ -177,6 +177,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fsync every ledger flush (durability over throughput)",
     )
+    engine_run.add_argument(
+        "--async-check",
+        action="store_true",
+        help="order arrivals through the snapshot-window ingress before "
+        "checking (tolerates late/reordered/duplicated streams)",
+    )
+    engine_run.add_argument(
+        "--async-lag",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="snapshot window width in simulation seconds "
+        "(default: %(default)s; only with --async-check)",
+    )
     engine_bench = engine_sub.add_parser(
         "bench", help="measure engine throughput per shard count"
     )
@@ -242,6 +256,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record the session's decision ledger live to this JSONL "
         "path (a crash leaves a verifiable prefix)",
+    )
+    serve.add_argument(
+        "--async-check",
+        action="store_true",
+        help="order arrivals through the snapshot-window ingress before "
+        "checking (tolerates late/reordered/duplicated streams)",
+    )
+    serve.add_argument(
+        "--async-lag",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="snapshot window width in simulation seconds "
+        "(default: %(default)s; only with --async-check)",
+    )
+    serve.add_argument(
+        "--gap-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="skip a per-source sequence gap after starving this many "
+        "wall seconds (default: hold until drain)",
+    )
+
+    asynchrony = commands.add_parser(
+        "asynchrony",
+        help="drop-bad vs OPT-R degradation under stream asynchrony",
+    )
+    asynchrony.add_argument("app", choices=sorted(_APPS))
+    asynchrony.add_argument("--groups", type=int, default=5)
+    asynchrony.add_argument("--err", type=float, default=0.2)
+    asynchrony.add_argument(
+        "--max-lag",
+        type=float,
+        default=6.0,
+        metavar="SECONDS",
+        help="snapshot window width for the async-check rows "
+        "(default: %(default)s)",
     )
 
     loadgen = commands.add_parser(
@@ -359,6 +411,21 @@ def _cmd_compare(args, out) -> int:
     return 0
 
 
+def _cmd_asynchrony(args, out) -> int:
+    from .experiments.asynchrony import format_asynchrony_table, run_asynchrony
+
+    app_cls, defaults = _APPS[args.app]
+    points = run_asynchrony(
+        app_cls(),
+        err_rate=args.err,
+        groups=args.groups,
+        use_window=defaults["use_window"],
+        max_lag=args.max_lag,
+    )
+    print(format_asynchrony_table(points), file=out)
+    return 0
+
+
 def _cmd_case_study(args, out) -> int:
     result = run_case_study(seed=args.seed)
     print(format_case_study(result), file=out)
@@ -426,6 +493,7 @@ def _cmd_engine(args, out) -> int:
     )
     from .engine.workload import run_scalability_bench
     from .obs import Telemetry, write_sidecar
+    from .runtime.snapshot import AsyncCheckConfig
 
     if args.engine_command == "bench":
         telemetry = None if args.no_telemetry else Telemetry(enabled=True)
@@ -496,6 +564,11 @@ def _cmd_engine(args, out) -> int:
             runtime_batch=not args.no_runtime_batch,
             ledger_path=args.ledger,
             ledger_fsync=args.ledger_fsync,
+            async_check=(
+                AsyncCheckConfig(max_lag=args.async_lag)
+                if args.async_check
+                else None
+            ),
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -564,6 +637,7 @@ def _cmd_serve(args, out) -> int:
     import asyncio
 
     from .obs import Telemetry
+    from .runtime.snapshot import AsyncCheckConfig
     from .serve import IngestServer, IngestService, ServeConfig
     from .serve.loadgen import build_app_engine
 
@@ -576,6 +650,7 @@ def _cmd_serve(args, out) -> int:
             max_queue_depth=args.max_queue_depth,
             batch_max_size=args.batch_max_size,
             batch_max_delay=args.batch_max_delay,
+            gap_timeout=args.gap_timeout,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -588,6 +663,11 @@ def _cmd_serve(args, out) -> int:
         use_window=args.window,
         telemetry=telemetry,
         ledger_path=args.ledger,
+        async_check=(
+            AsyncCheckConfig(max_lag=args.async_lag)
+            if args.async_check
+            else None
+        ),
     )
     service = IngestService(engine, config=config, telemetry=telemetry)
     server = IngestServer(service)
@@ -710,6 +790,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_scenarios(out)
     if args.command == "compare":
         return _cmd_compare(args, out)
+    if args.command == "asynchrony":
+        return _cmd_asynchrony(args, out)
     if args.command == "case-study":
         return _cmd_case_study(args, out)
     if args.command == "ablation":

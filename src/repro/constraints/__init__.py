@@ -21,6 +21,7 @@ from .checker import ConstraintChecker
 from .compile import CompiledKernel, compile_kernel
 from .evaluator import EvalResult, Evaluator
 from .format import format_constraint, format_formula, format_term
+from .horizon import TIME_BOUNDED_PREDICATES, temporal_horizon
 from .incremental import (
     ConstraintPlan,
     IncrementalEngine,
@@ -62,6 +63,8 @@ __all__ = [
     "format_constraint",
     "format_formula",
     "format_term",
+    "TIME_BOUNDED_PREDICATES",
+    "temporal_horizon",
     "ConstraintPlan",
     "IncrementalEngine",
     "PrefixAnalysis",

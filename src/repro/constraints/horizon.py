@@ -1,0 +1,83 @@
+"""Temporal horizon extraction: how far back a constraint can *see*.
+
+The async-check ingress (:class:`repro.runtime.snapshot.
+SnapshotIngress`) orders arrivals inside a watermark window of
+``max_lag`` simulation seconds.  How large must that window be for the
+checking semantics to survive asynchrony?  The constraint set itself
+answers part of it: a constraint whose predicates only relate contexts
+within ``dt`` seconds of each other (``within_time(a, b, dt)``) can
+never implicate a pair further apart, so a context released more than
+``dt`` behind the stream head could only have mattered to detections
+that already fired.
+
+:func:`temporal_horizon` walks every formula (:meth:`~repro.
+constraints.ast.Formula.walk`) and returns the largest literal time
+bound any time-comparing predicate carries -- a principled *lower*
+bound for ``max_lag``.  It is deliberately conservative in the other
+direction too: constraints with no recognized temporal predicate
+(e.g. pure co-location rules that implicate arbitrarily old pool
+members) make the horizon unbounded (``None``), because no finite
+window provably covers them.  The operational knob should then come
+from deployment knowledge (worst delivery delay + clock skew), not
+from the constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .ast import Constraint, Literal, Predicate
+
+__all__ = ["temporal_horizon", "TIME_BOUNDED_PREDICATES"]
+
+#: Builtin predicates whose last literal argument is a time bound in
+#: simulation seconds: beyond it, the predicate's truth value cannot
+#: link the two contexts (see :mod:`repro.constraints.builtins`).
+TIME_BOUNDED_PREDICATES = frozenset({"within_time", "older_than"})
+
+
+def _literal_bound(node: Predicate) -> Optional[float]:
+    """The trailing literal time bound of a time-comparing predicate."""
+    for arg in reversed(node.args):
+        if isinstance(arg, Literal):
+            value = arg.value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+            return None  # malformed bound: treat as non-temporal
+    return None
+
+
+def temporal_horizon(
+    constraints: Iterable[Constraint],
+) -> Optional[float]:
+    """Largest time bound any constraint's temporal predicates carry.
+
+    Returns ``None`` when the horizon is unbounded: the set is empty,
+    a constraint carries no time-comparing predicate at all, or a
+    temporal predicate's bound is not a numeric literal.  A finite
+    return is a sound lower bound for
+    :attr:`repro.runtime.snapshot.AsyncCheckConfig.max_lag`: a window
+    at least that wide guarantees every context pair a constraint can
+    relate is ordered before detection sees either member.
+    """
+    horizon = 0.0
+    any_constraint = False
+    for constraint in constraints:
+        any_constraint = True
+        bounded = False
+        for node in constraint.formula.walk():
+            if (
+                isinstance(node, Predicate)
+                and node.func in TIME_BOUNDED_PREDICATES
+            ):
+                bound = _literal_bound(node)
+                if bound is None:
+                    return None
+                bounded = True
+                horizon = max(horizon, bound)
+        if not bounded:
+            # A constraint that never compares timestamps can relate
+            # contexts arbitrarily far apart -- no finite window covers
+            # it.
+            return None
+    return horizon if any_constraint else None

@@ -9,6 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..runtime.snapshot import AsyncCheckConfig
+
 __all__ = ["EngineConfig", "FaultConfig"]
 
 #: Execution modes.
@@ -171,6 +173,17 @@ class EngineConfig:
         order as the merged events.
     ledger_fsync:
         Force-fsync every ledger flush (durability over throughput).
+    async_check:
+        Optional :class:`~repro.runtime.snapshot.AsyncCheckConfig`
+        enabling the snapshot-window asynchronous checking mode:
+        arrivals are buffered, deduplicated and released to the
+        checker in timestamp order behind a watermark, tolerating
+        late / reordered / duplicated streams.  ``None`` (default) is
+        the historical synchronous path.  Decision-*relevant* (a
+        perturbed stream resolves differently with it on), so it is
+        recorded in the ledger ruleset, not in ``meta``.  In inline
+        mode one global window orders the whole stream; in local /
+        process modes each shard windows its own sub-stream.
     """
 
     shards: int = 4
@@ -184,6 +197,7 @@ class EngineConfig:
     runtime_batch: bool = True
     ledger_path: Optional[str] = None
     ledger_fsync: bool = False
+    async_check: Optional[AsyncCheckConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -205,6 +219,13 @@ class EngineConfig:
         if not isinstance(self.fault, FaultConfig):
             raise ValueError(
                 f"fault must be a FaultConfig, got {type(self.fault).__name__}"
+            )
+        if self.async_check is not None and not isinstance(
+            self.async_check, AsyncCheckConfig
+        ):
+            raise ValueError(
+                "async_check must be an AsyncCheckConfig or None, got "
+                f"{type(self.async_check).__name__}"
             )
 
     def with_shards(self, shards: int) -> "EngineConfig":

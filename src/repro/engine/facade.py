@@ -145,6 +145,7 @@ class ShardedEngine:
                 fault_injector=self.fault_injector,
                 kernels=self.config.kernels,
                 runtime_batch=self.config.runtime_batch,
+                async_check=self.config.async_check,
             )
             for shard_id in range(self.config.shards)
         ]
@@ -166,6 +167,11 @@ class ShardedEngine:
             use_window=self.config.use_window,
             use_delay=self.config.use_delay,
             registry_factory=self.registry_factory,
+            async_check=(
+                self.config.async_check.to_document()
+                if self.config.async_check is not None
+                else None
+            ),
         )
 
     @property
@@ -290,6 +296,7 @@ class ShardedEngine:
             self.router.route,
             use_window=self.config.use_window,
             use_delay=self.config.use_delay,
+            async_check=self.config.async_check,
         )
         if self.config.runtime_batch:
             driver.receive_all(contexts)

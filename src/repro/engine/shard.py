@@ -58,6 +58,7 @@ from ..core.strategy import ResolutionStrategy, make_strategy
 from ..middleware.bus import Event, EventBus
 from ..runtime.batch import receive_batch
 from ..runtime.pipeline import PipelineDriver, ResolutionPipeline
+from ..runtime.snapshot import AsyncCheckConfig
 
 __all__ = [
     "ShardPipeline",
@@ -115,6 +116,12 @@ class ShardPipeline(ResolutionPipeline):
     def add(self, ctx: Context, now: float) -> AddOutcome:
         self.arrivals += 1
         return super().add(ctx, now)
+
+    def expire_on_receive(self, ctx: Context, now: float) -> None:
+        # A dead-on-arrival context was still routed here: it counts
+        # toward engine_shard_contexts_total like any other arrival.
+        self.arrivals += 1
+        super().expire_on_receive(ctx, now)
 
     def use(self, ctx: Context, now: float) -> UseOutcome:
         self.uses += 1
@@ -221,6 +228,10 @@ class ShardSpec:
     #: back to per-context ``driver.receive`` (the benchmark's A/B
     #: lever and the ``--no-runtime-batch`` escape hatch).
     runtime_batch: bool = True
+    #: Snapshot-window asynchronous checking for this shard's driver
+    #: (``None`` keeps the synchronous path).  A frozen plain-data
+    #: config, so it pickles with the spec.
+    async_check: Optional[AsyncCheckConfig] = None
 
     def build(self, telemetry=None) -> ShardPipeline:
         """Rebuild the pipeline; ``telemetry`` overrides the spec flag
@@ -292,6 +303,11 @@ class ShardCheckpoint:
     scheduler: Dict[str, object]
     driver_delivered: List[Context]
     events: List[Event]
+    #: :meth:`repro.runtime.snapshot.SnapshotIngress.snapshot` payload
+    #: (``None`` when the shard runs synchronously) -- without it, a
+    #: respawned worker would lose the contexts the snapshot window
+    #: still buffered at checkpoint time.
+    ingress: Optional[Dict[str, object]] = None
 
 
 class ShardExecutionState:
@@ -324,6 +340,7 @@ class ShardExecutionState:
             lambda _ctx: 0,
             use_window=spec.use_window,
             use_delay=spec.use_delay,
+            async_check=spec.async_check,
         )
         self.total = 0
         self.last_batch_index = -1
@@ -362,6 +379,8 @@ class ShardExecutionState:
         driver.clock.advance_to(ckpt.clock_now)
         driver.scheduler.restore(ckpt.scheduler)
         driver.delivered = list(ckpt.driver_delivered)
+        if ckpt.ingress is not None and driver.ingress is not None:
+            driver.ingress.restore(ckpt.ingress)
         self.events.extend(ckpt.events)
         self.total = ckpt.total
         self.last_batch_index = ckpt.batch_index
@@ -393,6 +412,11 @@ class ShardExecutionState:
             scheduler=driver.scheduler.snapshot(),
             driver_delivered=list(driver.delivered),
             events=list(self.events),
+            ingress=(
+                driver.ingress.snapshot()
+                if driver.ingress is not None
+                else None
+            ),
         )
 
     # -- batch application ---------------------------------------------------
@@ -447,17 +471,23 @@ class ShardExecutionState:
             labels={"shard": str(self.spec.shard_id)},
         ).set(elapsed)
         log = pipeline.resolution.log
+        stats = {
+            "contexts": float(self.total),
+            "detect_calls": float(pipeline.detect_calls()),
+            "inconsistencies": float(len(log.detected)),
+            "elapsed_s": elapsed,
+        }
+        ingress = self.driver.ingress
+        if ingress is not None:
+            stats["ingress_stale"] = float(ingress.stale)
+            stats["ingress_duplicates"] = float(ingress.duplicates)
+            stats["ingress_forced"] = float(ingress.forced)
         return ShardRunResult(
             shard_id=self.spec.shard_id,
             events=self.events,
             delivered=list(log.delivered),
             discarded=list(log.discarded),
-            stats={
-                "contexts": float(self.total),
-                "detect_calls": float(pipeline.detect_calls()),
-                "inconsistencies": float(len(log.detected)),
-                "elapsed_s": elapsed,
-            },
+            stats=stats,
             telemetry=self.telemetry.snapshot(),
         )
 

@@ -31,7 +31,9 @@ from ..ledger import LedgerRecorder, LedgerWriter
 from ..middleware.bus import (
     ContextDelivered,
     ContextDiscarded,
+    ContextDuplicate,
     ContextExpired,
+    ContextStale,
     Event,
 )
 from ..obs.telemetry import Telemetry
@@ -72,16 +74,22 @@ class EngineStream:
             engine.router.route,
             use_window=engine.config.use_window,
             use_delay=engine.config.use_delay,
+            async_check=engine.config.async_check,
         )
         self.bus = engine.bus
         self.submitted = 0
         self.delivered = 0
         self.discarded = 0
         self.expired = 0
+        #: Async-check ingress refusals (0 when the mode is off).
+        self.stale = 0
+        self.duplicates = 0
         self.closed = False
         self.bus.subscribe(ContextDelivered, self._on_delivered)
         self.bus.subscribe(ContextDiscarded, self._on_discarded)
         self.bus.subscribe(ContextExpired, self._on_expired)
+        self.bus.subscribe(ContextStale, self._on_stale)
+        self.bus.subscribe(ContextDuplicate, self._on_duplicate)
         # Open sessions record their ledger *live* -- entries hit the
         # writer as decisions happen, not at close, so a crashed serve
         # process still leaves a verifiable prefix on disk.
@@ -120,6 +128,12 @@ class EngineStream:
 
     def _on_expired(self, event: Event) -> None:
         self.expired += 1
+
+    def _on_stale(self, event: Event) -> None:
+        self.stale += 1
+
+    def _on_duplicate(self, event: Event) -> None:
+        self.duplicates += 1
 
     # -- submission ---------------------------------------------------------
 
@@ -165,6 +179,8 @@ class EngineStream:
         self.bus.unsubscribe(ContextDelivered, self._on_delivered)
         self.bus.unsubscribe(ContextDiscarded, self._on_discarded)
         self.bus.unsubscribe(ContextExpired, self._on_expired)
+        self.bus.unsubscribe(ContextStale, self._on_stale)
+        self.bus.unsubscribe(ContextDuplicate, self._on_duplicate)
         if self._ledger_recorder is not None:
             self._ledger_recorder.detach()
             self._ledger_recorder = None
@@ -173,5 +189,16 @@ class EngineStream:
         self.closed = True
 
     def decided(self) -> int:
-        """Terminal decisions seen so far (delivered+discarded+expired)."""
-        return self.delivered + self.discarded + self.expired
+        """Terminal outcomes seen so far.
+
+        Delivered + discarded + expired, plus the async-check ingress
+        refusals (stale / duplicate) -- a refused context is accounted
+        for, it just never reached a pool.
+        """
+        return (
+            self.delivered
+            + self.discarded
+            + self.expired
+            + self.stale
+            + self.duplicates
+        )

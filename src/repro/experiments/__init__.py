@@ -6,6 +6,11 @@ from .ablations import (
     run_tiebreak_ablation,
     run_window_ablation,
 )
+from .asynchrony import (
+    AsynchronyPoint,
+    format_asynchrony_table,
+    run_asynchrony,
+)
 from .case_study import CaseStudyConfig, CaseStudyResult, run_case_study
 from .harness import (
     DEFAULT_ERROR_RATES,
@@ -66,6 +71,9 @@ __all__ = [
     "sample_stdev",
     "RuleSensitivityPoint",
     "run_rule_sensitivity",
+    "AsynchronyPoint",
+    "format_asynchrony_table",
+    "run_asynchrony",
     "format_rule_sensitivity",
     "PairedComparison",
     "compare_strategies",

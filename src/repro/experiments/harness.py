@@ -78,15 +78,23 @@ def run_group(
     seed: int,
     use_window: int = 4,
     telemetry=None,
+    async_check=None,
 ) -> GroupMetrics:
     """Play one pre-generated stream under one strategy instance.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the
     middleware pipeline for this group; pass one bundle across groups
-    to aggregate a whole scenario into one sidecar.
+    to aggregate a whole scenario into one sidecar.  ``async_check``
+    (an :class:`repro.runtime.snapshot.AsyncCheckConfig`) puts the
+    middleware's arrival path behind the snapshot-window ingress --
+    the knob the asynchrony experiment sweeps.
     """
     middleware = Middleware(
-        app.build_checker(), strategy, use_window=use_window, telemetry=telemetry
+        app.build_checker(),
+        strategy,
+        use_window=use_window,
+        telemetry=telemetry,
+        async_check=async_check,
     )
     engine = SituationEngine(app.build_situations())
     middleware.plug_in(engine)

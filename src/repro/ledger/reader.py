@@ -232,6 +232,14 @@ def explain_context(entries: Entries, ctx_id: str) -> str:
                 "mark_bad": "marked bad (deferred discard)",
                 "deliver": "DELIVERED to the application",
                 "expire": "EXPIRED unused (availability period elapsed)",
+                "stale": (
+                    "REFUSED by the async-check ingress: arrived too "
+                    "late to order (timestamp behind the cursor)"
+                ),
+                "duplicate": (
+                    "REFUSED by the async-check ingress: ctx_id "
+                    "already seen (duplicate delivery)"
+                ),
             }.get(kind, kind)
             lines.append(f"{prefix}  {verb}")
     return "\n".join(lines)

@@ -37,9 +37,11 @@ from ..middleware.bus import (
     ContextAdmitted,
     ContextDelivered,
     ContextDiscarded,
+    ContextDuplicate,
     ContextExpired,
     ContextMarkedBad,
     ContextReceived,
+    ContextStale,
     Event,
     EventBus,
     InconsistencyDetected,
@@ -51,8 +53,10 @@ from .records import (
     KIND_DELIVER,
     KIND_DETECTION,
     KIND_DISCARD,
+    KIND_DUPLICATE,
     KIND_EXPIRE,
     KIND_MARK_BAD,
+    KIND_STALE,
 )
 
 __all__ = ["LedgerRecorder", "entries_from_events", "merge_segments"]
@@ -101,6 +105,8 @@ class LedgerRecorder:
             ContextDiscarded: self._on_discard,
             ContextDelivered: self._on_deliver,
             ContextExpired: self._on_expire,
+            ContextStale: self._refusal_handler(KIND_STALE),
+            ContextDuplicate: self._refusal_handler(KIND_DUPLICATE),
         }
         for event_type, kind in _SIMPLE_KINDS:
             self._dispatch[event_type] = self._simple_handler(kind)
@@ -218,6 +224,32 @@ class LedgerRecorder:
             "shard": self._shard.pop(ctx_id, 0),
             "ctx_id": ctx_id,
         }
+
+    def _refusal_handler(self, kind: str) -> Callable[[Event], dict]:
+        """Handler for ingress refusals (stale / duplicate drops).
+
+        The refused context never *arrived* at the pipeline -- replay
+        feeds only ``arrival`` entries, and release-order arrivals
+        interleaved with offer-time refusals would break its
+        determinism -- so these are their own kinds, carrying both the
+        ``ctx_id`` (terminal-verdict indexing: explain, diff) and the
+        full ``ctx`` record (audit: what exactly was refused).
+        """
+
+        def handle(event: Event) -> dict:
+            ctx = event.context
+            shard = (
+                self._shard_of(ctx) if self._shard_of is not None else 0
+            )
+            return {
+                "at": event.at,
+                "kind": kind,
+                "shard": shard,
+                "ctx_id": ctx.ctx_id,
+                "ctx": context_record(ctx),
+            }
+
+        return handle
 
     def _simple_handler(self, kind: str) -> Callable[[Event], dict]:
         def handle(event: Event) -> dict:

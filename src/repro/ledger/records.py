@@ -20,6 +20,12 @@ admit      the strategy judged a context consistent; ``ctx_id``
 mark_bad   drop-bad marked a context bad (deferred drop); ``ctx_id``
 deliver    a used context reached the application; ``ctx_id``
 expire     availability period elapsed unused; ``ctx_id``
+stale      the async-check ingress refused an unorderably late
+           arrival; ``ctx_id`` plus the full ``ctx`` record (the
+           context never *arrived* at the pipeline, so this is not an
+           ``arrival`` -- replay must not feed it)
+duplicate  the async-check ingress refused a re-delivered ctx_id;
+           same fields as ``stale``
 ========== ===========================================================
 
 All entries carry ``at`` (simulation time), ``shard`` (the owning
@@ -62,6 +68,8 @@ __all__ = [
     "KIND_DISCARD",
     "KIND_DELIVER",
     "KIND_EXPIRE",
+    "KIND_STALE",
+    "KIND_DUPLICATE",
     "DECISION_KINDS",
     "TERMINAL_KINDS",
     "ruleset_document",
@@ -81,11 +89,19 @@ KIND_MARK_BAD = "mark_bad"
 KIND_DISCARD = "discard"
 KIND_DELIVER = "deliver"
 KIND_EXPIRE = "expire"
+KIND_STALE = "stale"
+KIND_DUPLICATE = "duplicate"
 
 #: The externally visible decisions (the ``decision_signature`` pair).
 DECISION_KINDS = (KIND_DELIVER, KIND_DISCARD)
 #: Kinds after which a context's story is over.
-TERMINAL_KINDS = (KIND_DELIVER, KIND_DISCARD, KIND_EXPIRE)
+TERMINAL_KINDS = (
+    KIND_DELIVER,
+    KIND_DISCARD,
+    KIND_EXPIRE,
+    KIND_STALE,
+    KIND_DUPLICATE,
+)
 
 _STANDARD_REGISTRY_SPEC = "repro.constraints.builtins:standard_registry"
 
@@ -141,6 +157,7 @@ def ruleset_document(
     use_window: int = 4,
     use_delay: Optional[float] = None,
     registry_factory: Optional[Callable] = None,
+    async_check: Optional[Mapping[str, object]] = None,
 ) -> dict:
     """The self-describing resolution configuration of one run.
 
@@ -149,6 +166,14 @@ def ruleset_document(
     a ledger plus this document is sufficient to re-project every
     decision.  The document is plain JSON data; its canonical hash is
     the run's ``ruleset_hash``.
+
+    ``async_check`` is the snapshot-window configuration
+    (:meth:`repro.runtime.snapshot.AsyncCheckConfig.to_document`) when
+    asynchronous checking is on.  It is decision-relevant -- replaying
+    a perturbed stream without the window resolves differently -- so
+    it belongs here, but the key is *omitted entirely* when ``None``:
+    synchronous rulesets keep the exact document (and hash) they had
+    before the mode existed.
     """
     docs = [
         {
@@ -158,7 +183,7 @@ def ruleset_document(
         }
         for c in sorted(constraints, key=lambda c: c.name)
     ]
-    return {
+    document = {
         "constraints": docs,
         "strategy": strategy,
         "strategy_kwargs": dict(strategy_kwargs or {}),
@@ -166,6 +191,9 @@ def ruleset_document(
         "use_delay": use_delay,
         "registry": registry_spec(registry_factory),
     }
+    if async_check is not None:
+        document["async_check"] = dict(async_check)
+    return document
 
 
 def constraints_from_document(ruleset: Mapping[str, object]) -> Sequence[Constraint]:

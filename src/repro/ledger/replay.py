@@ -133,7 +133,15 @@ def replay_ledger(
     # own wiring, so a module-level import here would cycle.
     from ..engine.config import EngineConfig
     from ..engine.facade import ShardedEngine
+    from ..runtime.snapshot import AsyncCheckConfig
 
+    # An async-mode ledger records arrivals in *release* order (the
+    # snapshot window's timestamp-sorted output), so re-feeding them
+    # through the same window configuration releases them identically:
+    # sorted input, unique ids, nothing refused, same clock at every
+    # step.  The refusal entries (stale/duplicate) are not arrivals
+    # and are deliberately not replayed.
+    async_doc = ruleset.get("async_check")
     engine = ShardedEngine(
         constraints,
         strategy=ruleset.get("strategy", "drop-latest"),
@@ -146,6 +154,11 @@ def replay_ledger(
             mode="inline",
             use_window=int(ruleset.get("use_window", 4)),
             use_delay=ruleset.get("use_delay"),
+            async_check=(
+                AsyncCheckConfig.from_document(async_doc)
+                if async_doc is not None
+                else None
+            ),
         ),
     )
     result = engine.run(contexts)

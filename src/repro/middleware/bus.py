@@ -24,6 +24,8 @@ __all__ = [
     "ContextDelivered",
     "ContextMarkedBad",
     "ContextExpired",
+    "ContextStale",
+    "ContextDuplicate",
     "InconsistencyDetected",
     "SituationActivated",
     "SubscriberError",
@@ -85,6 +87,30 @@ class ContextMarkedBad(Event):
 @dataclass(frozen=True)
 class ContextExpired(Event):
     """A context's availability period elapsed before it was used."""
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextStale(Event):
+    """The async-check ingress dropped an arrival as unorderably late.
+
+    Its timestamp predates the snapshot window's cursor (the largest
+    released timestamp), so admitting it would regress the checker's
+    clock (see :mod:`repro.runtime.snapshot`).  Only published when
+    asynchronous checking is enabled.
+    """
+
+    context: Context
+
+
+@dataclass(frozen=True)
+class ContextDuplicate(Event):
+    """The async-check ingress dropped a re-delivered ctx_id.
+
+    Only published when asynchronous checking is enabled (synchronous
+    hosts keep the historical last-write-wins re-send semantics).
+    """
 
     context: Context
 

@@ -70,6 +70,12 @@ class Middleware:
         pipeline stages (receive/check/resolve/use/deliver/discard)
         record spans and latency histograms into it.  Attaching a
         :class:`repro.obs.TelemetryService` sets this up too.
+    async_check:
+        Optional :class:`repro.runtime.snapshot.AsyncCheckConfig`:
+        arrivals pass through a snapshot window (buffered, deduped,
+        released in timestamp order) before checking, so out-of-order
+        and duplicated streams are tolerated.  ``None`` (the default)
+        keeps the historical synchronous path byte-identical.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class Middleware:
         clock: Optional[SimulationClock] = None,
         bus: Optional[EventBus] = None,
         telemetry=None,
+        async_check=None,
     ) -> None:
         # Deferred import: runtime.pipeline imports middleware.bus/
         # clock/pool, so a module-level import here would cycle when
@@ -108,6 +115,7 @@ class Middleware:
             use_delay=use_delay,
             clock=self.clock,
             use_dispatch=self._dispatch_use,
+            async_check=async_check,
         )
         self.pool = self._pipeline.pool
         self.resolution = self._pipeline.resolution
@@ -131,6 +139,11 @@ class Middleware:
     @property
     def telemetry(self):
         return self._pipeline.telemetry
+
+    @property
+    def ingress(self):
+        """The async-check snapshot window (``None`` when synchronous)."""
+        return self._driver.ingress
 
     def plug_in(self, service: MiddlewareService) -> None:
         """Attach a plug-in service (situation engine, metrics, ...)."""

@@ -16,12 +16,16 @@ See ``docs/runtime.md`` for the stage/semantics reference.
 from .batch import receive_batch
 from .pipeline import PipelineDriver, ResolutionPipeline
 from .scheduler import BoundedIdSet, ScheduledUse, UseScheduler
+from .snapshot import AsyncCheckConfig, IngressOutcome, SnapshotIngress
 
 __all__ = [
+    "AsyncCheckConfig",
     "BoundedIdSet",
+    "IngressOutcome",
     "PipelineDriver",
     "ResolutionPipeline",
     "ScheduledUse",
+    "SnapshotIngress",
     "UseScheduler",
     "receive_batch",
 ]

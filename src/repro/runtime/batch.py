@@ -21,6 +21,20 @@ at most one redundant (cheap, heap-guarded) sweep -- and every pool
 *insert* during the batch passes through ``pipeline.add``, where the
 bound is tightened with the newcomer's expiry before the next arrival.
 
+The bound stays sound even when batch timestamps *regress* (a late,
+older-timestamped arrival), because of the dead-on-arrival intercept:
+``now`` itself never regresses (it is the max of the clock and the
+arrival timestamp), and a late context whose availability already
+lapsed (``expiry <= now``) is expired at receive instead of admitted.
+Every context that reaches the pool therefore satisfies
+``expiry > now``, so tightening the bound with it can never place
+``next_expiry`` in the past and no admitted context can sit in the
+pool beyond its availability waiting for a sweep the bound skipped.
+(Before the intercept, a regressing timestamp could admit an
+already-dead context and deliver it from the very ``drain`` call that
+follows -- the non-monotonic-timestamp hole the regression tests in
+``tests/runtime/test_doa_and_regress.py`` pin.)
+
 The engine's shard batches (``ShardExecutionState.process_batch``) and
 the middleware's ``receive_all`` both feed through here, so the batch
 path is the one hot loop everything shares.
@@ -46,6 +60,16 @@ def receive_batch(
     ``position_hook`` (used by the fault-injection harness) is called
     with the batch position before each context is processed.
     """
+    if driver.ingress is not None:
+        # Asynchronous checking: the snapshot window decides release
+        # order per arrival, so the hoisted fast path (whose sweep
+        # bound amortization assumes arrivals are processed as they
+        # come) hands over to the per-context path.
+        for position, ctx in enumerate(contexts):
+            if position_hook is not None:
+                position_hook(position)
+            driver.receive(ctx)
+        return len(contexts)
     pipelines = driver.pipelines
     scheduler = driver.scheduler
     clock = driver.clock
@@ -81,6 +105,17 @@ def receive_batch(
             drain(now)
 
         pipeline_index = route(ctx)
+        if ctx.expiry <= now:
+            # Dead on arrival (see the module docstring): expire at
+            # receive; the pool, the scheduler and the sweep bound
+            # never see a context whose availability already lapsed.
+            pipelines[pipeline_index].expire_on_receive(ctx, now)
+            continue
+        if pipelines[pipeline_index].pool.get(ctx.ctx_id) is not None:
+            # Live-id re-delivery: refuse, mirroring the per-context
+            # path (see PipelineDriver._receive_now).
+            pipelines[pipeline_index].refuse_duplicate(ctx, now)
+            continue
         outcome = pipelines[pipeline_index].add(ctx, now)
         if ctx.ctx_id not in {c.ctx_id for c in outcome.discarded}:
             scheduler.schedule(ctx, pipeline_index, now)

@@ -40,15 +40,18 @@ from ..middleware.bus import (
     ContextBuffered,
     ContextDelivered,
     ContextDiscarded,
+    ContextDuplicate,
     ContextExpired,
     ContextMarkedBad,
     ContextReceived,
+    ContextStale,
     EventBus,
     InconsistencyDetected,
 )
 from ..middleware.clock import SimulationClock
 from ..middleware.pool import ContextPool
 from .scheduler import UseScheduler
+from .snapshot import AsyncCheckConfig, SnapshotIngress
 
 __all__ = ["ResolutionPipeline", "PipelineDriver"]
 
@@ -230,6 +233,34 @@ class ResolutionPipeline:
                         self.deliver_hook(ctx)
         return outcome
 
+    def expire_on_receive(self, ctx: Context, now: float) -> None:
+        """Record a context that is dead on arrival.
+
+        A context whose ``timestamp + lifespan`` already passed the
+        pipeline clock at receive time must never enter the pool: it
+        would be delivered (or discard a live victim) before the next
+        expiry sweep could catch it.  The receive is still recorded --
+        ``ContextReceived`` then ``ContextExpired`` -- so the ledger
+        carries the arrival *and* its ``expire`` verdict, but no
+        detection, strategy or scheduling runs.
+        """
+        with self._stage_receive:
+            self.bus.publish(ContextReceived(at=now, context=ctx))
+            self.bus.publish(ContextExpired(at=now, context=ctx))
+
+    def refuse_duplicate(self, ctx: Context, now: float) -> None:
+        """Refuse a context whose id is already live in the pool.
+
+        At-least-once transports re-deliver; before this guard a
+        re-delivered context crashed the receive stage on the pool's
+        unique-id invariant.  The refusal mirrors the async ingress's
+        duplicate drop -- a ``ContextDuplicate`` event (ledger kind
+        ``duplicate``), *not* an arrival -- so replay semantics are
+        identical in both modes: refused contexts are never re-fed.
+        """
+        with self._stage_receive:
+            self.bus.publish(ContextDuplicate(at=now, context=ctx))
+
     # -- expiry -------------------------------------------------------------
 
     def next_expiry(self) -> float:
@@ -293,6 +324,13 @@ class PipelineDriver:
         pipeline_index)`` and must return the
         :class:`~repro.core.strategy.UseOutcome`.  The middleware hooks
         its distinct-use accounting here.
+    async_check:
+        When set, arrivals pass through a
+        :class:`~.snapshot.SnapshotIngress` snapshot window first:
+        buffered, deduplicated and released in timestamp order behind
+        the watermark, so the checker only ever sees a synchronized
+        view.  ``None`` (the default) is the historical synchronous
+        path, byte-identical to before this option existed.
     """
 
     def __init__(
@@ -304,6 +342,7 @@ class PipelineDriver:
         use_delay: Optional[float] = None,
         clock: Optional[SimulationClock] = None,
         use_dispatch: Optional[Callable[[Context, int], UseOutcome]] = None,
+        async_check: Optional[AsyncCheckConfig] = None,
     ) -> None:
         self.pipelines = list(pipelines)
         self.route = route
@@ -315,6 +354,10 @@ class PipelineDriver:
             pipeline.scheduler = self.scheduler
         self._use_dispatch = (
             use_dispatch if use_dispatch is not None else self._use_pipeline
+        )
+        #: Snapshot-window reorder buffer; ``None`` in synchronous mode.
+        self.ingress = (
+            SnapshotIngress(async_check) if async_check is not None else None
         )
         #: Contexts delivered through this driver, in decision order.
         self.delivered: List[Context] = []
@@ -330,7 +373,29 @@ class PipelineDriver:
     # -- arrivals -----------------------------------------------------------
 
     def receive(self, ctx: Context) -> None:
-        """Process one arrival: expiry, due drains, check, schedule."""
+        """Process one arrival: expiry, due drains, check, schedule.
+
+        With asynchronous checking enabled the arrival first passes the
+        snapshot window: it may be dropped (stale/duplicate), buffered,
+        or trigger the release of a timestamp-sorted run that is then
+        processed as if it had arrived synchronized.
+        """
+        if self.ingress is None:
+            self._receive_now(ctx)
+            return
+        outcome = self.ingress.offer(ctx)
+        if outcome.dropped is not None:
+            event_type = (
+                ContextStale if outcome.dropped == "stale" else ContextDuplicate
+            )
+            self.pipelines[self.route(ctx)].bus.publish(
+                event_type(at=self.clock.now(), context=ctx)
+            )
+        for released in outcome.released:
+            self._receive_now(released)
+
+    def _receive_now(self, ctx: Context) -> None:
+        """The synchronous arrival step (post-ingress in async mode)."""
         now = max(self.clock.now(), ctx.timestamp)
         self.clock.advance_to(now)
         for pipeline in self.pipelines:
@@ -342,6 +407,21 @@ class PipelineDriver:
             self.drain_due_uses(now)
 
         pipeline_index = self.route(ctx)
+        if ctx.expiry <= now:
+            # Dead on arrival: its availability period ended at or
+            # before the clock it arrives under -- expire at receive
+            # instead of admitting a context the next sweep would
+            # already have removed.
+            self.pipelines[pipeline_index].expire_on_receive(ctx, now)
+            return
+        if self.pipelines[pipeline_index].pool.get(ctx.ctx_id) is not None:
+            # At-least-once re-delivery while the original is still
+            # live: refuse it instead of tripping the pool's unique-id
+            # invariant.  (A duplicate arriving after the original left
+            # the pool is indistinguishable from a fresh context and is
+            # admitted as one.)
+            self.pipelines[pipeline_index].refuse_duplicate(ctx, now)
+            return
         outcome = self.pipelines[pipeline_index].add(ctx, now)
         if ctx.ctx_id not in {c.ctx_id for c in outcome.discarded}:
             self.scheduler.schedule(ctx, pipeline_index, now)
@@ -386,8 +466,20 @@ class PipelineDriver:
                 return
             self.use_scheduled(entry.ctx, entry.payload)
 
+    def flush_ingress(self) -> None:
+        """Release everything the snapshot window still buffers."""
+        if self.ingress is not None:
+            for ctx in self.ingress.flush():
+                self._receive_now(ctx)
+
     def flush_uses(self) -> None:
-        """Use every context still awaiting its window (end of stream)."""
+        """Use every context still awaiting its window (end of stream).
+
+        In asynchronous mode the snapshot window is flushed first --
+        buffered arrivals must be checked before the pending uses
+        behind them are forced due.
+        """
+        self.flush_ingress()
         scheduler = self.scheduler
         while True:
             entry = scheduler.pop_next()

@@ -10,6 +10,13 @@ from .landmarc import (
 )
 from .mobility import RandomWaypointWalker, ScriptedPath, TruePosition, ZoneFlowWalker
 from .noise import LocationNoiseModel, NoisyReading, RoomNoiseModel, ZoneNoiseModel
+from .perturb import (
+    dedup_stream,
+    delay_stream,
+    duplicate_stream,
+    reorder_stream,
+    skew_stream,
+)
 from .rf import PathLossModel, Reader, rssi_vector
 from .rfid import RFIDRead, ZoneReaderArray
 from .source import (
@@ -49,4 +56,9 @@ __all__ = [
     "RFIDContextSource",
     "TrackedLocationSource",
     "merge_streams",
+    "dedup_stream",
+    "delay_stream",
+    "duplicate_stream",
+    "reorder_stream",
+    "skew_stream",
 ]

@@ -1,0 +1,180 @@
+"""Stream perturbation adapters: asynchrony a transport would inflict.
+
+The workload generators emit *synchronized* streams -- one context per
+instant, timestamp order equals arrival order, exactly-once delivery.
+Real pervasive deployments break every one of those assumptions
+(PAPER.md Section 2: sensors report over lossy, buffered, retrying
+transports).  These adapters inject the four canonical failure shapes
+into any context stream, deterministically under a caller-supplied
+:class:`random.Random`:
+
+* :func:`delay_stream` -- each context's *arrival* lags its production
+  timestamp by a random delay, and arrivals are re-sorted by arrival
+  instant: late contexts now arrive behind fresher ones.
+* :func:`reorder_stream` -- bounded local shuffling (a window of
+  adjacent positions), the classic multi-connection interleave.
+* :func:`duplicate_stream` -- at-least-once delivery: a copy of a
+  context re-arrives strictly *after* its original.
+* :func:`skew_stream` -- per-source clock skew: every timestamp of a
+  source shifts by that source's fixed offset (:func:`dataclasses.
+  replace`; ids and payloads untouched).
+
+All adapters are pure: they return new lists, never mutate the input,
+and -- except :func:`skew_stream`, which rewrites timestamps, and
+:func:`duplicate_stream`, which adds copies -- preserve the exact
+multiset of context objects (pinned by property tests in
+``tests/sensing/test_perturb.py``).  :func:`dedup_stream` is the
+inverse of :func:`duplicate_stream`: first-wins by ``ctx_id``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Sequence
+
+from ..core.context import Context
+
+__all__ = [
+    "delay_stream",
+    "reorder_stream",
+    "duplicate_stream",
+    "skew_stream",
+    "dedup_stream",
+]
+
+
+def delay_stream(
+    contexts: Sequence[Context],
+    rng: random.Random,
+    *,
+    max_delay: float,
+    p: float = 1.0,
+) -> List[Context]:
+    """Arrival order under random per-context transport delay.
+
+    With probability ``p`` a context's arrival lags its timestamp by
+    ``U(0, max_delay)`` simulation seconds (otherwise it arrives
+    instantly).  The returned list is the stream in *arrival* order:
+    sorted by ``timestamp + delay``, ties broken by original position,
+    so a zero ``max_delay`` is the identity on the (timestamp-sorted)
+    generated workloads.  Contexts themselves are
+    unmodified -- the checker still sees the produced timestamps, only
+    later and shuffled.
+    """
+    if max_delay < 0:
+        raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+    keyed = []
+    for position, ctx in enumerate(contexts):
+        delay = (
+            rng.uniform(0.0, max_delay) if rng.random() < p else 0.0
+        )
+        keyed.append((ctx.timestamp + delay, position, ctx))
+    keyed.sort(key=lambda item: (item[0], item[1]))
+    return [item[2] for item in keyed]
+
+
+def reorder_stream(
+    contexts: Sequence[Context],
+    rng: random.Random,
+    *,
+    window: int,
+) -> List[Context]:
+    """Bounded local shuffle: each context moves at most ``window``
+    positions from where it was produced.
+
+    Models several pipelined connections interleaving: global order is
+    scrambled but nothing travels arbitrarily far.  ``window=0`` is
+    the identity.  Implemented as a random sort-key jitter of up to
+    ``window`` positions, which bounds total displacement by
+    ``2 * window``.
+    """
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    keyed = [
+        (position + rng.uniform(0.0, float(window)), position, ctx)
+        for position, ctx in enumerate(contexts)
+    ]
+    keyed.sort(key=lambda item: (item[0], item[1]))
+    return [item[2] for item in keyed]
+
+
+def duplicate_stream(
+    contexts: Sequence[Context],
+    rng: random.Random,
+    *,
+    p: float,
+    max_gap: int = 8,
+) -> List[Context]:
+    """At-least-once delivery: some contexts arrive twice.
+
+    With probability ``p`` a context is re-delivered ``1..max_gap``
+    positions after its original -- strictly after, never before, the
+    way a retrying transport duplicates.  The copy is the *same*
+    object (same ``ctx_id``), which is precisely what a dedup layer or
+    the async-check ingress must catch.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if max_gap < 1:
+        raise ValueError(f"max_gap must be >= 1, got {max_gap}")
+    out: List[Context] = []
+    # (remaining gap, context) pairs waiting to be re-injected.
+    pending: List[List] = []
+    for ctx in contexts:
+        out.append(ctx)
+        for slot in pending:
+            slot[0] -= 1
+        while pending and pending[0][0] <= 0:
+            out.append(pending.pop(0)[1])
+        if rng.random() < p:
+            pending.append([rng.randint(1, max_gap), ctx])
+        pending.sort(key=lambda slot: slot[0])
+    out.extend(ctx for _, ctx in pending)  # tail copies past the end
+    return out
+
+
+def skew_stream(
+    contexts: Sequence[Context],
+    rng: random.Random,
+    *,
+    max_skew: float,
+) -> List[Context]:
+    """Per-source clock skew: each source's clock runs offset.
+
+    Every distinct ``source`` draws one fixed offset in
+    ``[-max_skew, +max_skew]`` (a skewed clock is consistently wrong,
+    not noisy), applied to all its timestamps via
+    :func:`dataclasses.replace`.  Arrival order is left as produced --
+    compose with :func:`delay_stream` or :func:`reorder_stream` for
+    skewed *and* shuffled streams.  Offsets are clamped so no
+    timestamp goes negative.
+    """
+    if max_skew < 0:
+        raise ValueError(f"max_skew must be >= 0, got {max_skew}")
+    offsets: Dict[str, float] = {}
+    out: List[Context] = []
+    for ctx in contexts:
+        offset = offsets.get(ctx.source)
+        if offset is None:
+            offset = offsets[ctx.source] = rng.uniform(-max_skew, max_skew)
+        skewed = max(0.0, ctx.timestamp + offset)
+        out.append(dataclasses.replace(ctx, timestamp=skewed))
+    return out
+
+
+def dedup_stream(contexts: Sequence[Context]) -> List[Context]:
+    """First-wins deduplication by ``ctx_id``.
+
+    The inverse of :func:`duplicate_stream`: because duplicates are
+    always injected strictly after their originals, deduplicating a
+    duplicated stream restores it exactly (pinned by property test).
+    """
+    seen = set()
+    out: List[Context] = []
+    for ctx in contexts:
+        if ctx.ctx_id in seen:
+            continue
+        seen.add(ctx.ctx_id)
+        out.append(ctx)
+    return out

@@ -45,6 +45,14 @@ class ServeConfig:
         Bound on out-of-order contexts the per-source sequencer will
         hold while waiting for a gap to fill; a source exceeding it is
         shed with reason ``order``.
+    gap_timeout:
+        Wall seconds a source may starve on a sequence gap before the
+        sequencer skips it (``serve_gap_skips``) and releases the
+        contexts held behind it; gap-released contexts whose
+        availability lapsed while buffered are dropped at the service
+        (``serve_gap_expired_total``) instead of being forwarded.
+        ``None`` (the default) disables gap skipping: held contexts
+        wait for the gap to fill or for the final drain.
     max_body_bytes:
         Largest HTTP request body / WebSocket message accepted.
     """
@@ -57,6 +65,7 @@ class ServeConfig:
     batch_max_size: int = 64
     batch_max_delay: float = 0.005
     max_pending_per_source: int = 256
+    gap_timeout: Optional[float] = None
     max_body_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
@@ -80,6 +89,10 @@ class ServeConfig:
             raise ValueError(
                 "max_pending_per_source must be >= 1, got "
                 f"{self.max_pending_per_source}"
+            )
+        if self.gap_timeout is not None and self.gap_timeout <= 0:
+            raise ValueError(
+                f"gap_timeout must be > 0 or None, got {self.gap_timeout}"
             )
         if self.max_body_bytes < 1:
             raise ValueError(

@@ -62,13 +62,16 @@ def build_app_engine(
     telemetry: Optional[Telemetry] = None,
     ledger_path: Optional[str] = None,
     ledger_fsync: bool = False,
+    async_check=None,
 ):
     """A :class:`~repro.engine.facade.ShardedEngine` for one app.
 
     Inline mode: the front-door's pump feeds an in-process stream, so
     worker processes would only add serialization overhead here.
     ``ledger_path`` records the session's decision ledger (live, via
-    the open stream's recorder).
+    the open stream's recorder).  ``async_check`` (an
+    :class:`~repro.runtime.snapshot.AsyncCheckConfig`) puts the
+    stream's arrival path behind the snapshot-window ingress.
     """
     from ..engine import EngineConfig, ShardedEngine
 
@@ -86,6 +89,7 @@ def build_app_engine(
         use_window=use_window if use_window is not None else default_window,
         ledger_path=ledger_path,
         ledger_fsync=ledger_fsync,
+        async_check=async_check,
     )
     return ShardedEngine(
         checker.constraints(),

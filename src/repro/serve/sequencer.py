@@ -20,11 +20,23 @@ the gap fills).
 The buffer is bounded per source (``max_pending``): a source whose gap
 never fills cannot grow server memory without limit -- the overflow is
 surfaced as :class:`SequenceError` and shed with reason ``order``.
+
+Boundedness alone does not prevent *starvation*: a gap that never
+fills used to hold every later context of that source forever (well
+past their own lifespans) until the final drain.  ``gap_timeout``
+fixes that: once a source has waited longer than the timeout on its
+head gap, :meth:`expire_gaps` advances ``next_seq`` past the missing
+slots (counting them in :attr:`gap_skips`) and releases the
+consecutive run behind them.  The service layer sweeps this
+periodically and drops released contexts whose availability lapsed
+while buffered (the ``serve_gap_expired_total`` metric) instead of
+forwarding corpses to the engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+import time
+from typing import Callable, Dict, Generic, List, Optional, Tuple, TypeVar
 
 __all__ = ["SourceSequencer", "SequenceError"]
 
@@ -36,13 +48,16 @@ class SequenceError(Exception):
 
 
 class _SourceState(Generic[T]):
-    __slots__ = ("next_seq", "held")
+    __slots__ = ("next_seq", "held", "gap_since")
 
     def __init__(self) -> None:
         #: Next sequence number expected to be released.
         self.next_seq = 0
         #: Out-of-order arrivals waiting for their gap to fill.
         self.held: Dict[int, T] = {}
+        #: Monotonic instant the current head gap opened (``None`` when
+        #: nothing is held, i.e. there is no gap to wait on).
+        self.gap_since: Optional[float] = None
 
 
 class SourceSequencer(Generic[T]):
@@ -51,15 +66,43 @@ class SourceSequencer(Generic[T]):
     Single-threaded (event-loop) by design; :meth:`push` returns the
     items released *by this push* -- zero (held for a gap), one (in
     order), or several (a gap just filled).
+
+    Parameters
+    ----------
+    max_pending:
+        Per-source bound on gapped (held) items.
+    gap_timeout:
+        Seconds a source may wait on its head gap before
+        :meth:`expire_gaps` skips it.  ``None`` (the default) disables
+        gap skipping -- held items are only released by the gap
+        filling or by :meth:`flush_held` at drain.
+    clock:
+        Monotonic time source (injectable for tests); defaults to
+        :func:`time.monotonic`.
     """
 
-    def __init__(self, *, max_pending: int = 256) -> None:
+    def __init__(
+        self,
+        *,
+        max_pending: int = 256,
+        gap_timeout: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if gap_timeout is not None and gap_timeout <= 0:
+            raise ValueError(
+                f"gap_timeout must be > 0 or None, got {gap_timeout}"
+            )
         self.max_pending = max_pending
+        self.gap_timeout = gap_timeout
+        self._clock = clock
         self._sources: Dict[str, _SourceState[T]] = {}
         self.reordered = 0
         self.released = 0
+        #: Sequence slots skipped by gap timeouts (the
+        #: ``serve_gap_skips`` telemetry counter's source of truth).
+        self.gap_skips = 0
 
     def _state(self, source: str) -> _SourceState[T]:
         state = self._sources.get(source)
@@ -103,7 +146,79 @@ class SourceSequencer(Generic[T]):
             released.append((state.next_seq, state.held.pop(state.next_seq)))
             state.next_seq += 1
         self.released += len(released)
+        self._mark_gap(state, head_changed=bool(released))
         return released
+
+    def _mark_gap(
+        self, state: _SourceState[T], *, head_changed: bool
+    ) -> None:
+        """Start/stop/restart the head-gap stopwatch after a change.
+
+        The stopwatch times the *current head gap*: it restarts when a
+        release moved the cursor onto a new gap (``head_changed``), so
+        each gap gets the full timeout rather than inheriting the wait
+        already spent on a previous one.
+        """
+        if not state.held:
+            state.gap_since = None
+        elif head_changed or state.gap_since is None:
+            state.gap_since = self._clock()
+
+    def expire_gaps(self, now: Optional[float] = None) -> List[Tuple[int, T]]:
+        """Skip head gaps older than ``gap_timeout``; release behind them.
+
+        For every source whose oldest gap has been open longer than the
+        timeout, the cursor advances to the first *held* sequence
+        number (each skipped empty slot counts in :attr:`gap_skips`)
+        and the consecutive run from there is released.  If another gap
+        remains after the run, its stopwatch restarts at ``now`` -- one
+        sweep skips one gap per source, so a source trickling in with
+        many holes pays the timeout per hole instead of flushing
+        everything on the first sweep.
+
+        Returns the released ``(seq, item)`` pairs across all sources
+        (sorted by source for determinism).  No-op when ``gap_timeout``
+        is ``None``.
+        """
+        if self.gap_timeout is None:
+            return []
+        if now is None:
+            now = self._clock()
+        released: List[Tuple[int, T]] = []
+        for source in sorted(self._sources):
+            state = self._sources[source]
+            if (
+                state.gap_since is None
+                or now - state.gap_since < self.gap_timeout
+            ):
+                continue
+            first_held = min(state.held)
+            self.gap_skips += first_held - state.next_seq
+            state.next_seq = first_held
+            while state.next_seq in state.held:
+                released.append(
+                    (state.next_seq, state.held.pop(state.next_seq))
+                )
+                state.next_seq += 1
+            state.gap_since = None
+            # Restart the stopwatch if holes remain behind the run.
+            self._mark_gap(state, head_changed=True)
+        self.released += len(released)
+        return released
+
+    def next_gap_deadline(self) -> Optional[float]:
+        """Earliest monotonic instant a head gap times out (``None`` if
+        no gap is open or gap skipping is disabled)."""
+        if self.gap_timeout is None:
+            return None
+        opened = [
+            s.gap_since
+            for s in self._sources.values()
+            if s.gap_since is not None
+        ]
+        if not opened:
+            return None
+        return min(opened) + self.gap_timeout
 
     def flush_held(self) -> List[Tuple[int, T]]:
         """Release every held item in per-source seq order (shutdown).
@@ -119,6 +234,7 @@ class SourceSequencer(Generic[T]):
             for seq in sorted(state.held):
                 released.append((seq, state.held.pop(seq)))
                 state.next_seq = seq + 1
+            state.gap_since = None
         self.released += len(released)
         return released
 
@@ -140,4 +256,5 @@ class SourceSequencer(Generic[T]):
             "released": self.released,
             "reordered": self.reordered,
             "held": self.pending(),
+            "gap_skips": self.gap_skips,
         }

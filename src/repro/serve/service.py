@@ -12,7 +12,12 @@ per arrival:
    sheds on rate or backlog depth with an explicit reason.
 3. **sequence** -- :class:`~repro.serve.sequencer.SourceSequencer`
    releases the source's contexts in per-source FIFO order (explicit
-   ``seq`` gaps are held, bounded).
+   ``seq`` gaps are held, bounded).  With ``gap_timeout`` set, a gap
+   that starves longer than the timeout is skipped (a periodic sweeper
+   task plus an opportunistic sweep per submission); gap-released
+   contexts whose availability lapsed while buffered are dropped here
+   with the ``serve_gap_expired_total`` metric rather than forwarded
+   to the engine as corpses.
 4. **batch** -- :class:`~repro.serve.batcher.AdaptiveBatcher` coalesces
    released contexts under max-size/max-linger.
 5. **resolve** -- a single *engine pump* task feeds batches in FIFO
@@ -46,7 +51,9 @@ from ..core.context import Context
 from ..middleware.bus import (
     ContextDelivered,
     ContextDiscarded,
+    ContextDuplicate,
     ContextExpired,
+    ContextStale,
 )
 from ..obs.registry import FINE_LATENCY_BUCKETS
 from ..obs.telemetry import Telemetry
@@ -124,8 +131,12 @@ class IngestService:
             telemetry=self.telemetry,
         )
         self.sequencer: SourceSequencer[_Entry] = SourceSequencer(
-            max_pending=self.config.max_pending_per_source
+            max_pending=self.config.max_pending_per_source,
+            gap_timeout=self.config.gap_timeout,
         )
+        #: Gap-released contexts dropped because their availability
+        #: lapsed while held (the ``serve_gap_expired_total`` metric).
+        self._gap_expired = 0
         self.batcher: AdaptiveBatcher[_Entry] = AdaptiveBatcher(
             self._enqueue,
             max_size=self.config.batch_max_size,
@@ -154,6 +165,12 @@ class IngestService:
         bus.subscribe(ContextDelivered, self._on_delivered)
         bus.subscribe(ContextDiscarded, self._on_terminal)
         bus.subscribe(ContextExpired, self._on_terminal)
+        # Async-check ingress refusals are terminal too: a stale or
+        # duplicate context never reaches a pool, so its pending entry
+        # must be settled here or drain would report it as lost.
+        bus.subscribe(ContextStale, self._on_terminal)
+        bus.subscribe(ContextDuplicate, self._on_terminal)
+        self._sweeper_task: Optional[asyncio.Task] = None
         self.draining = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -163,6 +180,10 @@ class IngestService:
         if self._pump_task is None:
             self._pump_task = asyncio.get_running_loop().create_task(
                 self._pump(), name="serve-engine-pump"
+            )
+        if self._sweeper_task is None and self.config.gap_timeout is not None:
+            self._sweeper_task = asyncio.get_running_loop().create_task(
+                self._gap_sweeper(), name="serve-gap-sweeper"
             )
 
     def _now(self) -> float:
@@ -215,12 +236,65 @@ class IngestService:
         for _, released_entry in released:
             self._pending[released_entry[0].ctx_id] = released_entry[1]
             self.batcher.add(released_entry)
+        # Opportunistic sweep: a busy service skips starved gaps on the
+        # arrival path too, not only at the sweeper's cadence.
+        self._sweep_gaps()
         return SubmitResult(ctx.ctx_id, True, None, len(released))
 
     def submit_many(
         self, records, *, source: Optional[str] = None
     ) -> List[SubmitResult]:
         return [self.submit_record(r, source=source) for r in records]
+
+    # -- gap sweeping --------------------------------------------------------
+
+    def _sweep_gaps(self) -> int:
+        """Skip starved sequence gaps; forward the released survivors.
+
+        Returns how many gap-released contexts were forwarded.  A
+        gap-released context spent wall time buffered; one whose
+        availability window lapsed while held (expiry at or before the
+        service's sim clock, wall seconds since start -- the same
+        mapping :func:`~repro.serve.protocol.context_from_record` uses
+        to default timestamps) is dropped here with
+        ``serve_gap_expired_total`` instead of being forwarded to the
+        engine as a corpse.  No-op when ``gap_timeout`` is unset.
+        """
+        skips_before = self.sequencer.gap_skips
+        released = self.sequencer.expire_gaps()
+        skipped = self.sequencer.gap_skips - skips_before
+        if skipped:
+            self.telemetry.count(
+                "serve_gap_skips",
+                amount=skipped,
+                help="Sequence slots skipped by gap timeouts",
+            )
+        if not released:
+            return 0
+        sim_now = self._now() - self._started_wall
+        forwarded = 0
+        for _, (ctx, ingest_t) in released:
+            if ctx.expiry <= sim_now:
+                self._gap_expired += 1
+                self.telemetry.count(
+                    "serve_gap_expired_total",
+                    help="Gap-released contexts dropped: availability "
+                    "lapsed while held",
+                )
+                continue
+            self._pending[ctx.ctx_id] = ingest_t
+            self.batcher.add((ctx, ingest_t))
+            forwarded += 1
+        return forwarded
+
+    async def _gap_sweeper(self) -> None:
+        """Sweep starved gaps at half the timeout, forever (cancelled
+        at drain).  Half the timeout bounds how much a starved gap can
+        overshoot ``gap_timeout`` between sweeps."""
+        interval = self.config.gap_timeout / 2
+        while True:
+            await asyncio.sleep(interval)
+            self._sweep_gaps()
 
     # -- engine pump ---------------------------------------------------------
 
@@ -293,13 +367,17 @@ class IngestService:
         bus.unsubscribe(ContextDelivered, self._on_delivered)
         bus.unsubscribe(ContextDiscarded, self._on_terminal)
         bus.unsubscribe(ContextExpired, self._on_terminal)
-        if self._pump_task is not None:
-            self._pump_task.cancel()
-            try:
-                await self._pump_task
-            except asyncio.CancelledError:
-                pass
-            self._pump_task = None
+        bus.unsubscribe(ContextStale, self._on_terminal)
+        bus.unsubscribe(ContextDuplicate, self._on_terminal)
+        for task_attr in ("_pump_task", "_sweeper_task"):
+            task = getattr(self, task_attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, task_attr, None)
         report = {
             "admitted": self.admission.admitted,
             "decided": self.stream.decided(),
@@ -307,6 +385,8 @@ class IngestService:
             "discarded": self.stream.discarded,
             "expired": self.stream.expired,
             "lost": len(self._pending),
+            "gap_skips": self.sequencer.gap_skips,
+            "gap_expired": self._gap_expired,
             "pump_errors": self._pump_errors,
         }
         if report["lost"]:
@@ -342,6 +422,8 @@ class IngestService:
                 "delivered": self.stream.delivered,
                 "discarded": self.stream.discarded,
                 "expired": self.stream.expired,
+                "stale": self.stream.stale,
+                "duplicates": self.stream.duplicates,
                 "pending_uses": self.stream.pending_uses(),
                 "pool_size": self.stream.pool_size(),
             },
@@ -350,6 +432,7 @@ class IngestService:
                 "ingest_to_delivery": self._latency_stats(self._delivery_hist),
             },
             "undecided": len(self._pending),
+            "gap_expired": self._gap_expired,
             "pump_errors": self._pump_errors,
             "draining": self.draining,
         }

@@ -33,15 +33,26 @@ def loc(ctx_id, x, t):
 
 
 class TestDuplicateIds:
-    def test_duplicate_live_context_id_is_an_error(self):
-        """Context ids identify contexts; re-receiving a live id is a
-        source bug the middleware surfaces rather than hides."""
+    def test_duplicate_live_context_id_is_refused(self):
+        """Re-receiving a live id is an at-least-once re-delivery: the
+        middleware refuses it with a ``ContextDuplicate`` event (the
+        original, already-checked instance stays authoritative) instead
+        of crashing the receive stage on the pool's unique-id
+        invariant."""
+        from repro.middleware.bus import ContextDuplicate
+
         middleware = Middleware(
             checker(), make_strategy("drop-bad"), use_window=10
         )
-        middleware.receive(loc("a", 0.0, 0.0))
-        with pytest.raises(ValueError, match="already in pool"):
-            middleware.receive(loc("a", 1.0, 1.0))
+        refused = []
+        middleware.bus.subscribe(
+            ContextDuplicate, lambda e: refused.append(e.context)
+        )
+        original = loc("a", 0.0, 0.0)
+        middleware.receive(original)
+        middleware.receive(loc("a", 1.0, 1.0))  # re-delivery, new payload
+        assert [c.ctx_id for c in refused] == ["a"]
+        assert middleware.pool.get("a") is original
 
 
 class TestOutOfOrderTimestamps:

@@ -1,0 +1,198 @@
+"""Property tests for the stream perturbation adapters.
+
+The adapters' contract is conservation: perturbation moves contexts
+around (or copies them) but never invents, loses, or edits payloads.
+That is what makes the asynchrony experiments meaningful -- a quality
+drop under perturbation is attributable to *ordering*, not to a lossy
+adapter.  Hypothesis pins:
+
+* ``delay_stream`` / ``reorder_stream`` are permutations of the exact
+  input objects (same multiset, same identities);
+* ``duplicate_stream`` only appends copies strictly after their
+  originals, and ``dedup_stream`` inverts it byte-for-byte;
+* ``skew_stream`` rewrites timestamps by one constant per source and
+  touches nothing else;
+* running the runtime (async check off) over a dedup'd duplicated
+  stream reproduces the golden decision signature of the original.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import Context
+from repro.sensing.perturb import (
+    dedup_stream,
+    delay_stream,
+    duplicate_stream,
+    reorder_stream,
+    skew_stream,
+)
+
+pytestmark = pytest.mark.async_check
+
+
+def make_stream(timestamps, n_sources=3):
+    return [
+        Context(
+            ctx_id=f"c{i}",
+            ctx_type="loc",
+            subject=f"s{i % n_sources}",
+            value=float(i),
+            timestamp=ts,
+            lifespan=float("inf"),
+        )
+        for i, ts in enumerate(timestamps)
+    ]
+
+
+timestamps_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    max_size=40,
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestPermutationAdapters:
+    @given(timestamps=timestamps_strategy, seed=seeds,
+           max_delay=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_is_a_permutation(self, timestamps, seed, max_delay):
+        stream = make_stream(timestamps)
+        out = delay_stream(stream, random.Random(seed), max_delay=max_delay)
+        assert sorted(map(id, out)) == sorted(map(id, stream))
+
+    @given(timestamps=timestamps_strategy, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_delay_is_the_identity_on_sorted_streams(
+        self, timestamps, seed
+    ):
+        # Workload generators emit timestamp-sorted streams; with no
+        # delay the arrival order IS the production order.
+        stream = make_stream(sorted(timestamps))
+        assert delay_stream(
+            stream, random.Random(seed), max_delay=0.0
+        ) == stream
+
+    @given(timestamps=timestamps_strategy, seed=seeds,
+           window=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_reorder_is_a_bounded_permutation(self, timestamps, seed, window):
+        stream = make_stream(timestamps)
+        out = reorder_stream(stream, random.Random(seed), window=window)
+        assert sorted(map(id, out)) == sorted(map(id, stream))
+        for new_pos, ctx in enumerate(out):
+            old_pos = stream.index(ctx)
+            assert abs(new_pos - old_pos) <= window
+
+    @given(timestamps=timestamps_strategy, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_window_is_the_identity(self, timestamps, seed):
+        stream = make_stream(timestamps)
+        assert reorder_stream(
+            stream, random.Random(seed), window=0
+        ) == stream
+
+
+class TestDuplication:
+    @given(timestamps=timestamps_strategy, seed=seeds,
+           p=st.floats(min_value=0.0, max_value=1.0),
+           max_gap=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_duplicates_arrive_strictly_after_originals(
+        self, timestamps, seed, p, max_gap
+    ):
+        stream = make_stream(timestamps)
+        out = duplicate_stream(
+            stream, random.Random(seed), p=p, max_gap=max_gap
+        )
+        first_seen = {}
+        for pos, ctx in enumerate(out):
+            if ctx.ctx_id in first_seen:
+                # A copy: the same object, strictly later.
+                assert ctx is out[first_seen[ctx.ctx_id]]
+            else:
+                first_seen[ctx.ctx_id] = pos
+        assert len(first_seen) == len(stream)
+
+    @given(timestamps=timestamps_strategy, seed=seeds,
+           p=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_inverts_duplicate(self, timestamps, seed, p):
+        stream = make_stream(timestamps)
+        duplicated = duplicate_stream(stream, random.Random(seed), p=p)
+        assert dedup_stream(duplicated) == stream
+
+
+class TestSkew:
+    @given(timestamps=timestamps_strategy, seed=seeds,
+           max_skew=st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_one_constant_offset_per_source(self, timestamps, seed, max_skew):
+        stream = make_stream(timestamps)
+        out = skew_stream(stream, random.Random(seed), max_skew=max_skew)
+        assert [c.ctx_id for c in out] == [c.ctx_id for c in stream]
+        offsets = {}
+        for before, after in zip(stream, out):
+            assert after.value == before.value
+            assert after.lifespan == before.lifespan
+            assert after.timestamp >= 0.0
+            if after.timestamp > 0.0:  # not clamped: offset observable
+                offset = after.timestamp - before.timestamp
+                assert abs(offset) <= max_skew + 1e-9
+                key = before.source
+                assert abs(offsets.setdefault(key, offset) - offset) <= 1e-9
+
+
+class TestGoldenSignatureThroughDedup:
+    """dedup(duplicate(stream)) feeds the *unmodified* runtime (async
+    check off) and must land on the recorded golden signature --
+    duplication plus dedup is decision-invisible."""
+
+    @pytest.mark.parametrize("seed", [2, 48, 160])
+    def test_dedup_restores_golden_signature(self, seed):
+        import json
+        import pathlib
+
+        from repro.constraints.checker import ConstraintChecker
+        from repro.core.strategy import make_strategy
+        from repro.middleware.bus import ContextDelivered, ContextDiscarded
+        from repro.middleware.manager import Middleware
+
+        from tests.runtime import _streams
+
+        constraints, stream, params = _streams.trial_inputs(seed)
+        perturbed = dedup_stream(
+            duplicate_stream(stream, random.Random(seed ^ 0xD0D0), p=0.25)
+        )
+        assert perturbed == stream  # the dedup contract, concretely
+        middleware = Middleware(
+            ConstraintChecker(constraints),
+            make_strategy(params["strategy"]),
+            use_window=params["use_window"],
+            use_delay=params["use_delay"],
+        )
+        delivered, discarded = [], []
+        middleware.bus.subscribe(
+            ContextDelivered, lambda e: delivered.append(e.context.ctx_id)
+        )
+        middleware.bus.subscribe(
+            ContextDiscarded, lambda e: discarded.append(e.context.ctx_id)
+        )
+        middleware.receive_all(perturbed)
+        golden = json.loads(
+            (
+                pathlib.Path(__file__).parents[1]
+                / "runtime"
+                / "goldens"
+                / "generated_streams.json"
+            ).read_text()
+        )
+        assert (
+            _streams.signature(delivered, discarded)
+            == golden["trials"][seed]["signature"]
+        )

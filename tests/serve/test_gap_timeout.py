@@ -1,0 +1,134 @@
+"""Gap timeouts end to end: the service skips starved sequence gaps.
+
+The starvation scenario: a source submits explicit-seq records but one
+slot never arrives.  Before the gap-timeout fix the run behind the gap
+sat in the sequencer until drain; now the sweeper (and the
+opportunistic per-submission sweep) skips the hole after
+``gap_timeout`` and forwards the survivors -- unless their
+availability lapsed while they were held, in which case they are
+dropped with ``serve_gap_expired_total`` instead of being fed to the
+engine as corpses.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.serve import IngestService, ServeConfig
+from repro.serve.loadgen import build_app_engine, prepare_records
+
+pytestmark = pytest.mark.async_check
+
+
+def make_service(telemetry=None, **config_kwargs) -> IngestService:
+    telemetry = telemetry or Telemetry(enabled=True)
+    engine = build_app_engine("rfid", shards=2, telemetry=telemetry)
+    return IngestService(
+        engine,
+        config=ServeConfig(port=0, **config_kwargs),
+        telemetry=telemetry,
+    )
+
+
+def test_sweeper_skips_starved_gap_and_forwards_survivors():
+    async def main():
+        telemetry = Telemetry(enabled=True)
+        service = make_service(
+            telemetry, gap_timeout=0.05, batch_max_delay=0.001
+        )
+        await service.start()
+        records = prepare_records("rfid", 4)
+        # seq 0 never arrives: 1..3 are held behind the gap.
+        for i, record in enumerate(records[1:], start=1):
+            result = service.submit_record(record, source="gapped", seq=i)
+            assert result.admitted and result.released == 0
+        assert service.sequencer.pending("gapped") == 3
+        # Wait out the timeout; the background sweeper skips the hole.
+        deadline = asyncio.get_running_loop().time() + 2.0
+        while service.sequencer.pending("gapped"):
+            assert asyncio.get_running_loop().time() < deadline
+            await asyncio.sleep(0.02)
+        assert service.sequencer.gap_skips == 1
+        assert telemetry.registry.value("serve_gap_skips") == 1
+        report = await service.drain()
+        assert report["lost"] == 0
+        assert report["admitted"] == 3
+        assert report["decided"] == 3
+        assert report["gap_skips"] == 1
+        assert report["gap_expired"] == 0
+
+    asyncio.run(main())
+
+
+def test_opportunistic_sweep_on_the_arrival_path():
+    """A later submission (any source) skips an already-starved gap
+    without waiting for the background sweeper."""
+
+    async def main():
+        service = make_service(gap_timeout=0.05, batch_max_delay=0.001)
+        # No start(): the background sweeper never runs, so any skip
+        # must come from the submission-path sweep.
+        records = prepare_records("rfid", 3)
+        service.submit_record(records[0], source="gapped", seq=1)
+        await asyncio.sleep(0.08)  # gap is now past its timeout
+        result = service.submit_record(records[1], source="other")
+        assert result.admitted
+        assert service.sequencer.gap_skips == 1
+        assert service.sequencer.pending("gapped") == 0
+        report = await service.drain()
+        assert report["lost"] == 0
+        assert report["decided"] == 2
+
+    asyncio.run(main())
+
+
+def test_gap_released_context_with_lapsed_availability_is_dropped():
+    async def main():
+        telemetry = Telemetry(enabled=True)
+        service = make_service(
+            telemetry, gap_timeout=0.05, batch_max_delay=0.001
+        )
+        await service.start()
+        # Held behind a gap with a lifespan far shorter than the gap
+        # timeout: by the time the sweeper releases it, its availability
+        # (timestamp 0 + lifespan, on the service's sim clock) lapsed.
+        corpse = {
+            "ctx_id": "corpse-1",
+            "ctx_type": "location",
+            "subject": "tag-1",
+            "timestamp": 0.0,
+            "lifespan": 0.01,
+        }
+        result = service.submit_record(corpse, source="gapped", seq=1)
+        assert result.admitted and result.released == 0
+        deadline = asyncio.get_running_loop().time() + 2.0
+        while service.sequencer.pending("gapped"):
+            assert asyncio.get_running_loop().time() < deadline
+            await asyncio.sleep(0.02)
+        assert service._gap_expired == 1
+        assert telemetry.registry.value("serve_gap_expired_total") == 1
+        report = await service.drain()
+        # Dropped at release, never forwarded: not lost, not decided.
+        assert report["lost"] == 0
+        assert report["gap_expired"] == 1
+        assert report["decided"] == 0
+
+    asyncio.run(main())
+
+
+def test_no_timeout_means_gaps_hold_until_drain():
+    async def main():
+        service = make_service(batch_max_delay=0.001)  # gap_timeout unset
+        await service.start()
+        assert service._sweeper_task is None
+        records = prepare_records("rfid", 2)
+        service.submit_record(records[0], source="gapped", seq=1)
+        await asyncio.sleep(0.1)
+        assert service.sequencer.pending("gapped") == 1
+        assert service.sequencer.gap_skips == 0
+        report = await service.drain()  # flush_held resolves it
+        assert report["lost"] == 0
+        assert report["decided"] == 1
+
+    asyncio.run(main())

@@ -93,4 +93,92 @@ class TestFlushHeld:
         stats = seq.stats()
         assert stats == {
             "sources": 1, "released": 1, "reordered": 1, "held": 1,
+            "gap_skips": 0,
         }
+
+
+class TestGapTimeout:
+    """The starvation fix: a gap that never fills is eventually skipped."""
+
+    def make(self, timeout=5.0):
+        now = [0.0]
+        seq = SourceSequencer(gap_timeout=timeout, clock=lambda: now[0])
+        return seq, now
+
+    def test_disabled_by_default_holds_forever(self):
+        seq = SourceSequencer()
+        seq.push("s", "b", seq=1)
+        assert seq.expire_gaps() == []
+        assert seq.next_gap_deadline() is None
+        assert seq.pending() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceSequencer(gap_timeout=0.0)
+
+    def test_timed_out_gap_is_skipped_and_run_released(self):
+        seq, now = self.make()
+        seq.push("s", "b", seq=1)
+        seq.push("s", "c", seq=2)
+        assert seq.expire_gaps() == []  # stopwatch at 0: not timed out
+        now[0] = 5.0
+        out = seq.expire_gaps()
+        assert released_items(out) == ["b", "c"]
+        assert seq.gap_skips == 1  # slot 0 was skipped
+        assert seq.cursor("s") == 3
+        assert seq.pending() == 0
+
+    def test_skipped_slot_is_stale_if_it_finally_arrives(self):
+        seq, now = self.make()
+        seq.push("s", "b", seq=1)
+        now[0] = 5.0
+        seq.expire_gaps()
+        with pytest.raises(SequenceError):
+            seq.push("s", "a", seq=0)  # the straggler that starved us
+
+    def test_one_gap_per_source_per_sweep(self):
+        seq, now = self.make()
+        seq.push("s", "b", seq=1)
+        seq.push("s", "d", seq=3)
+        now[0] = 5.0
+        assert released_items(seq.expire_gaps()) == ["b"]
+        assert seq.gap_skips == 1
+        # The second hole's stopwatch restarted at the sweep: it gets
+        # its own full timeout rather than flushing immediately.
+        assert seq.expire_gaps() == []
+        now[0] = 10.0
+        assert released_items(seq.expire_gaps()) == ["d"]
+        assert seq.gap_skips == 2
+
+    def test_stopwatch_restarts_when_head_gap_changes(self):
+        seq, now = self.make()
+        seq.push("s", "b", seq=1)  # gap 0 opens at t=0
+        now[0] = 4.0
+        # Gap 0 fills normally; the release leaves a NEW gap (2) held,
+        # whose clock must start at 4.0, not inherit t=0.
+        seq.push("s", "d", seq=3)
+        released = seq.push("s", "a", seq=0)
+        assert released_items(released) == ["a", "b"]
+        now[0] = 5.0  # only 1s on the new gap
+        assert seq.expire_gaps() == []
+        now[0] = 9.0
+        assert released_items(seq.expire_gaps()) == ["d"]
+
+    def test_next_gap_deadline_tracks_oldest_gap(self):
+        seq, now = self.make()
+        assert seq.next_gap_deadline() is None
+        seq.push("s1", "b", seq=1)
+        now[0] = 2.0
+        seq.push("s2", "y", seq=4)
+        assert seq.next_gap_deadline() == 5.0  # s1's gap, opened at 0
+        now[0] = 5.0
+        seq.expire_gaps()
+        assert seq.next_gap_deadline() == 7.0  # s2's remains
+
+    def test_flush_held_resets_stopwatches(self):
+        seq, now = self.make()
+        seq.push("s", "b", seq=1)
+        seq.flush_held()
+        now[0] = 100.0
+        assert seq.expire_gaps() == []
+        assert seq.next_gap_deadline() is None
