@@ -2,8 +2,9 @@
 
 The paper's reliability story for drop-bad is measured on synchronized
 streams.  This benchmark perturbs the smart-phone workload with the
-:mod:`repro.sensing.perturb` adapters (delay / reorder / duplicate at
-three intensities each) and records drop-bad's OPT-R-normalized
+:mod:`repro.sensing.perturb` adapters (delay / reorder / duplicate /
+per-source clock skew at three intensities each) and records
+drop-bad's OPT-R-normalized
 quality with the runtime as-is versus behind the snapshot-window
 async-check ingress.  The grid lands machine-readably as the
 ``async_degradation`` record of ``benchmarks/out/BENCH_engine.json``

@@ -41,6 +41,10 @@ def test_engine_scalability(benchmark):
     telemetry = Telemetry(enabled=True)
 
     def run():
+        # batch_kernels off: this benchmark isolates the shard-count
+        # variable on the per-context detection path (whose pool-scan
+        # cost sharding removes); columnar batched detection attacks
+        # the same cost and has its own column (``detection_batch``).
         return run_scalability_bench(
             SHARD_COUNTS,
             n_contexts=N_CONTEXTS,
@@ -49,6 +53,7 @@ def test_engine_scalability(benchmark):
             mode="inline",
             repeats=2,
             telemetry=telemetry,
+            batch_kernels=False,
         )
 
     record = benchmark.pedantic(run, rounds=1, iterations=1)

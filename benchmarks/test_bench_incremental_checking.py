@@ -25,6 +25,7 @@ hosts).
 import datetime
 import json
 import pathlib
+import statistics
 import time
 import warnings
 
@@ -182,4 +183,155 @@ def test_kernel_speedup_recorded(benchmark):
     assert speedup >= 2.5, (
         f"expected >= 2.5x detection throughput from kernels + indexes, "
         f"measured {speedup:.2f}x"
+    )
+
+
+# -- columnar batched detection (ISSUE 9) ---------------------------------
+
+#: Serve-like batch sizes: the adaptive batcher's typical window (16)
+#: and a saturated front-door burst (64).
+BATCH_SIZES = (16, 64)
+
+
+def _detect_all_batched(batch_size: int, batch_kernels: bool = True,
+                        trace: bool = False):
+    """The same stream through ``detect_batch`` in fixed-size chunks."""
+    checker = APP.build_checker(incremental=True, kernels=True)
+    checker.batch_kernels = batch_kernels and checker.batch_kernels
+    pool = ContextPool()
+    checker.attach_pool(pool)
+    detected = 0
+    sequence = [] if trace else None
+    for start in range(0, len(STREAM), batch_size):
+        chunk = STREAM[start : start + batch_size]
+        # The runtime sweeps expiry before a batch; mid-batch expiry is
+        # detect_batch's per-row cutoff's job.
+        pool.expire(chunk[0].timestamp)
+        verdicts = checker.detect_batch(
+            chunk, pool.contents(), now=[c.timestamp for c in chunk]
+        )
+        for ctx, found in zip(chunk, verdicts):
+            detected += len(found)
+            if sequence is not None:
+                sequence.append(
+                    (
+                        ctx.ctx_id,
+                        sorted(
+                            (
+                                inc.constraint,
+                                tuple(sorted(c.ctx_id for c in inc.contexts)),
+                            )
+                            for inc in found
+                        ),
+                    )
+                )
+            pool.add(ctx)
+    return (detected, sequence) if trace else detected
+
+
+def test_detection_batch_agrees_with_per_context():
+    # Byte-identical verdicts: batched detection at every size, with
+    # batch kernels on and off, vs the per-context kernel reference.
+    _, reference = _detect_all("kernels", trace=True)
+    for batch_size in BATCH_SIZES:
+        for batch_kernels in (True, False):
+            _, batched = _detect_all_batched(
+                batch_size, batch_kernels=batch_kernels, trace=True
+            )
+            assert batched == reference, (
+                f"verdicts diverged at batch_size={batch_size}, "
+                f"batch_kernels={batch_kernels}"
+            )
+
+
+def test_detection_batch_recorded(benchmark):
+    """Columnar batched detection vs the per-context kernel path.
+
+    Measured interleaved (per-context, batched, per-context, ...) so a
+    load spike hits both arms, and the speedup is the *median of the
+    per-rep ratios* -- each rep's ratio pairs arms measured back to
+    back, so multiplicative host noise cancels instead of landing on
+    whichever arm it hit.  The acceptance bar is >= 1.5x at serve-like
+    batch sizes; the committed ``detection_batch`` baseline gets the
+    same fail-soft 30% regression warning as ``detection_kernels``.
+    """
+    def run():
+        best = {"seq": 0.0, **{size: 0.0 for size in BATCH_SIZES}}
+        rep_ratios = {size: [] for size in BATCH_SIZES}
+        _detect_all("kernels")  # warmup: prime plans and indexes
+        _detect_all_batched(BATCH_SIZES[0])
+        for _ in range(7):
+            started = time.perf_counter()
+            _detect_all("kernels")
+            seq_tp = len(STREAM) / (time.perf_counter() - started)
+            best["seq"] = max(best["seq"], seq_tp)
+            for size in BATCH_SIZES:
+                started = time.perf_counter()
+                _detect_all_batched(size)
+                tp = len(STREAM) / (time.perf_counter() - started)
+                best[size] = max(best[size], tp)
+                rep_ratios[size].append(tp / seq_tp)
+        return best, rep_ratios
+
+    throughput, rep_ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratios = {
+        size: statistics.median(rep_ratios[size]) for size in BATCH_SIZES
+    }
+    headline_size = max(BATCH_SIZES, key=lambda size: ratios[size])
+
+    baseline = None
+    if OUT_JSON.exists():
+        try:
+            committed = json.loads(OUT_JSON.read_text(encoding="utf-8"))
+            baseline = committed["detection_batch"]["contexts_per_second"]
+        except (ValueError, KeyError, TypeError):
+            baseline = None
+
+    record = {
+        "contexts_per_second": round(throughput[headline_size], 1),
+        "contexts_per_second_per_context": round(throughput["seq"], 1),
+        "batch_size": headline_size,
+        "speedup_vs_per_context_by_batch_size": {
+            str(size): round(ratios[size], 2) for size in BATCH_SIZES
+        },
+        "workload": {
+            "app": "call_forwarding",
+            "err_rate": 0.3,
+            "seed": 77,
+            "duration_s": 240.0,
+            "n_contexts": len(STREAM),
+        },
+        "measured_at": datetime.datetime.now().isoformat(timespec="seconds"),
+    }
+    write_bench_json(OUT_JSON, "detection_batch", record)
+    write_report(
+        "detection_batch",
+        "Columnar batched detection -- detect_batch vs per-context kernels\n"
+        + format_table(
+            ["mode", "contexts/second"],
+            [["per-context kernels", f"{throughput['seq']:.1f}"]]
+            + [
+                [
+                    f"detect_batch({size})",
+                    f"{throughput[size]:.1f} ({ratios[size]:.2f}x)",
+                ]
+                for size in BATCH_SIZES
+            ],
+        ),
+    )
+
+    if baseline and throughput[headline_size] < (
+        1 - REGRESSION_TOLERANCE
+    ) * baseline:
+        warnings.warn(
+            f"batched detection throughput regressed: "
+            f"{throughput[headline_size]:.1f} ctx/s vs committed baseline "
+            f"{baseline:.1f} ctx/s (> {REGRESSION_TOLERANCE:.0%} drop)",
+            stacklevel=1,
+        )
+
+    best_ratio = ratios[headline_size]
+    assert best_ratio >= 1.5, (
+        f"expected >= 1.5x detection throughput from batched evaluation "
+        f"at serve-like batch sizes, measured {best_ratio:.2f}x"
     )

@@ -166,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
         "receive reference path)",
     )
     engine_run.add_argument(
+        "--no-batch-kernels",
+        action="store_true",
+        help="disable columnar batched detection (detect_batch verdict "
+        "planning); decisions are identical either way",
+    )
+    engine_run.add_argument(
         "--ledger",
         default=None,
         metavar="PATH",
@@ -561,6 +567,7 @@ def _cmd_engine(args, out) -> int:
             batch_size=args.batch_size,
             fault=FaultConfig(**fault_overrides),
             kernels=not args.no_kernels,
+            batch_kernels=not args.no_batch_kernels,
             runtime_batch=not args.no_runtime_batch,
             ledger_path=args.ledger,
             ledger_fsync=args.ledger_fsync,

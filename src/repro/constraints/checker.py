@@ -8,7 +8,7 @@ consistency checking service of the Cabot middleware ([16], [17]).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from ..core.context import Context
 from ..core.inconsistency import Inconsistency
@@ -16,8 +16,8 @@ from ..core.resolver import InconsistencyDetector
 from .ast import Constraint
 from .builtins import FunctionRegistry, standard_registry
 from .evaluator import Evaluator
-from .incremental import IncrementalEngine
-from .index import CandidateIndex, EphemeralScopeIndex
+from .incremental import GroupPlan, IncrementalEngine
+from .index import BatchOverlayView, CandidateIndex, EphemeralScopeIndex
 
 __all__ = ["ConstraintChecker"]
 
@@ -39,6 +39,13 @@ class ConstraintChecker(InconsistencyDetector):
         candidate enumeration through equality-join indexes (default).
         Disable to force the interpreted reference path (the engine's
         ``--no-kernels`` escape hatch).
+    batch_kernels:
+        Let :meth:`detect_batch` use the vectorized batch-kernel sweep
+        and the cross-batch probe memo (default).  Disable (the
+        engine's ``--no-batch-kernels`` escape hatch) and
+        :meth:`detect_batch` degrades to a sequential emulation with
+        identical results -- callers never need to care which path
+        ran.  :meth:`detect` itself is unaffected either way.
 
     The checker is *incremental by contract*: :meth:`detect` returns
     only inconsistencies that involve the newly added context, which is
@@ -57,16 +64,26 @@ class ConstraintChecker(InconsistencyDetector):
         registry: Optional[FunctionRegistry] = None,
         incremental: bool = True,
         kernels: bool = True,
+        batch_kernels: bool = True,
     ) -> None:
         self.registry = registry if registry is not None else standard_registry()
         self._constraints: Dict[str, Constraint] = {}
         self._relevant_types: Set[str] = set()
         self._routing: Dict[str, List[Constraint]] = {}
         self._engine = IncrementalEngine(
-            self.registry, enabled=incremental, kernels=kernels
+            self.registry,
+            enabled=incremental,
+            kernels=kernels,
+            batch_kernels=batch_kernels,
         )
+        self.batch_kernels = batch_kernels and kernels
         self.evaluator = Evaluator(self.registry, use_kernels=kernels)
         self._pool_index: Optional[CandidateIndex] = None
+        # Cross-batch probe memo for detect_batch, stamped by
+        # (registry version, pool-index generation); flushed whenever
+        # either moves, i.e. on predicate replacement or pool mutation.
+        self._probe_memo: Dict = {}
+        self._probe_stamp = (-1, -1)
         #: Detection statistics, for the incremental-speed-up benchmark.
         self.detect_calls = 0
         #: Telemetry bundle (repro.obs); hosts swap in a live one.
@@ -87,6 +104,7 @@ class ConstraintChecker(InconsistencyDetector):
         # of a registry lookup and span allocation per call.
         self._telemetry = telemetry
         self._check_span = telemetry.span_timer("check.incremental")
+        self._batch_span = telemetry.span_timer("check.batch")
         if telemetry.enabled:
             self._detect_counter = telemetry.registry.counter(
                 "checker_detect_calls_total",
@@ -112,6 +130,18 @@ class ConstraintChecker(InconsistencyDetector):
                 "check_interpreter_fallbacks",
                 help="Constraint evaluations served by the AST interpreter",
             )
+            self._batch_rows_counter = telemetry.registry.counter(
+                "batch_kernel_rows_total",
+                help="Contexts detected through the batched kernel path",
+            )
+            self._memo_hits_counter = telemetry.registry.counter(
+                "subexpr_memo_hits_total",
+                help="Shared-subexpression memo hits (probe + kernel caches)",
+            )
+            self._memo_misses_counter = telemetry.registry.counter(
+                "subexpr_memo_misses_total",
+                help="Shared-subexpression memo misses (probe + kernel caches)",
+            )
         else:
             self._detect_counter = None
             self._violations_counter = None
@@ -119,6 +149,9 @@ class ConstraintChecker(InconsistencyDetector):
             self._pruned_counter = None
             self._kernel_counter = None
             self._fallback_counter = None
+            self._batch_rows_counter = None
+            self._memo_hits_counter = None
+            self._memo_misses_counter = None
 
     # -- constraint management -------------------------------------------
 
@@ -265,6 +298,208 @@ class ConstraintChecker(InconsistencyDetector):
             if delta:
                 self._fallback_counter.inc(delta)
         return inconsistencies
+
+    def detect_batch(
+        self,
+        batch: Sequence[Context],
+        existing: Sequence[Context],
+        now: Union[float, Sequence[float]],
+    ) -> List[List[Inconsistency]]:
+        """Per-context verdicts for a whole batch, in arrival order.
+
+        Semantically this is nothing but the sequential sweep: row
+        ``k`` is checked exactly as :meth:`detect` would check it
+        against ``existing`` *plus the earlier batch rows*, both
+        filtered to contexts still alive at the row's clock
+        (``expiry > now_k`` -- the same condition the runtime's expiry
+        sweep removes on, so mid-batch expiry is honoured without the
+        caller re-sweeping).  ``now`` is one clock for the whole batch
+        or one per row (nondecreasing in practice; not required).
+        Verdict lists come back in batch order; rows no constraint
+        quantifies over get ``[]`` without touching the engine, the
+        same rows the resolution service never calls :meth:`detect`
+        for.
+
+        What batching buys -- with ``batch_kernels`` enabled -- is the
+        cost model, not the answer: candidate-index probes are made
+        once per distinct (type, field, value) group per batch instead
+        of once per row (memoized across batches until the registry
+        version or pool generation moves), and each constraint's
+        cross product is swept by one vectorized batch-kernel call
+        instead of one Python call per binding.  With the flag off the
+        method literally runs the sequential emulation, so results can
+        never depend on it.
+        """
+        if not batch:
+            return []
+        if isinstance(now, (int, float)):
+            nows: List[float] = [float(now)] * len(batch)
+        else:
+            nows = [float(value) for value in now]
+            if len(nows) != len(batch):
+                raise ValueError(
+                    f"got {len(nows)} clocks for {len(batch)} contexts"
+                )
+        if not self.batch_kernels:
+            return self._detect_batch_sequential(batch, existing, nows)
+
+        index = self._pool_index
+        if index is not None and index.size == len(existing):
+            # Persistent pool index: the probe memo survives across
+            # batches as long as neither the registry nor the pool
+            # moved (their versions are the stamp).
+            stamp = (self.registry.version, index.generation)
+            if stamp != self._probe_stamp:
+                self._probe_memo.clear()
+                self._probe_stamp = stamp
+            overlay = BatchOverlayView(index, self._probe_memo)
+        else:
+            overlay = BatchOverlayView(EphemeralScopeIndex(existing), {})
+
+        engine = self._engine
+        registry = self.registry
+        routing = self._routing
+        enumerated = engine.bindings_enumerated
+        pruned = engine.bindings_pruned
+        kernel_hits = engine.kernel_hits
+        fallbacks = engine.interpreter_fallbacks
+        plan_hits = engine.subexpr_memo_hits
+        plan_misses = engine.subexpr_memo_misses
+
+        results: List[List[Inconsistency]] = []
+        relevant_rows = 0
+        total_violations = 0
+        # One domain closure for the whole batch; the current row sits
+        # in a cell and the per-row cache is cleared between rows
+        # (hoisting the per-context closure + dict allocation the
+        # sequential path pays on every detect call).
+        row_cell: List[Optional[Context]] = [None]
+        dom_cache: Dict[str, List[Context]] = {}
+
+        def domain(ctx_type: str) -> Sequence[Context]:
+            extent = dom_cache.get(ctx_type)
+            if extent is None:
+                extent = list(overlay.extent(ctx_type))
+                row = row_cell[0]
+                if row is not None and ctx_type == row.ctx_type:
+                    extent.append(row)
+                dom_cache[ctx_type] = extent
+            return extent
+
+        # Fusion units per type, resolved once per batch: constraints
+        # sharing a quantified type sequence and join structure run as
+        # one fused pool sweep (see ``IncrementalEngine.fusion_plan``);
+        # verdicts are re-emitted below in routing order, so fusion is
+        # invisible in the results.
+        unit_cache: Dict[str, List] = {}
+
+        with self._batch_span:
+            for ctx, row_now in zip(batch, nows, strict=True):
+                constraints = routing.get(ctx.ctx_type, ())
+                if not constraints:
+                    results.append([])
+                    overlay.append(ctx)
+                    continue
+                relevant_rows += 1
+                self.detect_calls += 1
+                registry.now = row_now
+                overlay.set_cutoff(row_now)
+                row_cell[0] = ctx
+                if dom_cache:
+                    dom_cache.clear()
+                units = unit_cache.get(ctx.ctx_type)
+                if units is None:
+                    units = engine.fusion_plan(constraints)
+                    unit_cache[ctx.ctx_type] = units
+                found: Dict[str, List] = {}
+                for unit in units:
+                    if isinstance(unit, GroupPlan):
+                        fused = engine.new_violations_group(
+                            unit, ctx, existing, domain, view=overlay
+                        )
+                        for name, vios in zip(
+                            unit.names, fused, strict=True
+                        ):
+                            found[name] = vios
+                    else:
+                        found[unit.name] = engine.new_violations(
+                            unit,
+                            ctx,
+                            existing,
+                            domain,
+                            view=overlay,
+                            batched=True,
+                        )
+                inconsistencies: List[Inconsistency] = []
+                for constraint in constraints:
+                    for contexts in found[constraint.name]:
+                        inconsistencies.append(
+                            Inconsistency(
+                                contexts=frozenset(contexts),
+                                constraint=constraint.name,
+                                detected_at=row_now,
+                            )
+                        )
+                total_violations += len(inconsistencies)
+                results.append(inconsistencies)
+                overlay.append(ctx)
+
+        if self._detect_counter is not None:
+            if relevant_rows:
+                self._detect_counter.inc(relevant_rows)
+            if total_violations:
+                self._violations_counter.inc(total_violations)
+            delta = engine.bindings_enumerated - enumerated
+            if delta:
+                self._enumerated_counter.inc(delta)
+            delta = engine.bindings_pruned - pruned
+            if delta:
+                self._pruned_counter.inc(delta)
+            delta = engine.kernel_hits - kernel_hits
+            if delta:
+                self._kernel_counter.inc(delta)
+            delta = engine.interpreter_fallbacks - fallbacks
+            if delta:
+                self._fallback_counter.inc(delta)
+            self._batch_rows_counter.inc(len(batch))
+            hits = overlay.memo_hits + engine.subexpr_memo_hits - plan_hits
+            if hits:
+                self._memo_hits_counter.inc(hits)
+            misses = (
+                overlay.memo_misses + engine.subexpr_memo_misses - plan_misses
+            )
+            if misses:
+                self._memo_misses_counter.inc(misses)
+        return results
+
+    def _detect_batch_sequential(
+        self,
+        batch: Sequence[Context],
+        existing: Sequence[Context],
+        nows: Sequence[float],
+    ) -> List[List[Inconsistency]]:
+        """The reference semantics of :meth:`detect_batch`, one
+        :meth:`detect` per row over the explicitly materialised scope
+        (earlier rows appended, per-row expiry filter applied)."""
+        results: List[List[Inconsistency]] = []
+        admitted = list(existing)
+        # Our materialised scopes are NOT pool filters (batch rows are
+        # appended), so detect()'s size-equality shortcut onto the
+        # persistent pool index must not fire -- park the index and
+        # let every row build an ephemeral scope view.
+        saved = self._pool_index
+        self._pool_index = None
+        try:
+            for ctx, row_now in zip(batch, nows, strict=True):
+                if ctx.ctx_type in self._relevant_types:
+                    scope = [c for c in admitted if c.expiry > row_now]
+                    results.append(self.detect(ctx, scope, row_now))
+                else:
+                    results.append([])
+                admitted.append(ctx)
+        finally:
+            self._pool_index = saved
+        return results
 
     def forget(self, ctx: Context) -> None:
         """The checker keeps no per-context caches; nothing to drop.

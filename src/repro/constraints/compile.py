@@ -57,7 +57,14 @@ from .ast import (
 )
 from .builtins import FunctionRegistry
 
-__all__ = ["CompiledKernel", "compile_kernel"]
+__all__ = [
+    "CompiledKernel",
+    "compile_kernel",
+    "BatchKernel",
+    "compile_batch_kernel",
+    "GroupKernel",
+    "compile_group_kernel",
+]
 
 
 @dataclass(frozen=True)
@@ -90,14 +97,53 @@ class _OutOfFragment(Exception):
 
 
 class _Codegen:
-    """Single-pass expression emitter with a pre-bound namespace."""
+    """Single-pass expression emitter with a pre-bound namespace.
 
-    def __init__(self, registry: FunctionRegistry) -> None:
+    ``elide`` holds ``(func, frozenset({a, b}))`` pairs naming binary
+    predicate applications over in-scope variables that the caller has
+    *proven* true for every binding the emitted code will see (the
+    batched path passes equality guards whose positions are already
+    join-restricted to agree); they are emitted as the constant
+    ``True`` and fold away under short-circuiting.
+    """
+
+    def __init__(
+        self,
+        registry: FunctionRegistry,
+        elide: frozenset = frozenset(),
+        intern: bool = False,
+    ) -> None:
         self._registry = registry
+        self._elide = elide
+        self._intern = intern
+        self._interned: Dict[object, str] = {}
         self.namespace: Dict[str, object] = {}
         self._fresh = 0
 
     def bind(self, prefix: str, value: object) -> str:
+        if self._intern and prefix in ("f", "c", "t"):
+            # Same resolved function / same literal value -> same
+            # symbol, so identical subexpressions emit identical
+            # source strings (the group compiler's sharing test).
+            # Loop-variable placeholders ("q" / "p") stay fresh.
+            if prefix == "f":
+                key = ("f", id(value))
+            else:
+                try:
+                    key = (prefix, type(value), value)
+                    hash(key)
+                except TypeError:
+                    key = None
+            if key is not None:
+                symbol = self._interned.get(key)
+                if symbol is not None:
+                    return symbol
+                symbol = self._bind_fresh(prefix, value)
+                self._interned[key] = symbol
+                return symbol
+        return self._bind_fresh(prefix, value)
+
+    def _bind_fresh(self, prefix: str, value: object) -> str:
         name = f"_{prefix}{self._fresh}"
         self._fresh += 1
         self.namespace[name] = value
@@ -105,6 +151,17 @@ class _Codegen:
 
     def emit(self, formula: Formula, scope: Dict[str, str]) -> str:
         if isinstance(formula, Predicate):
+            if self._elide and len(formula.args) == 2:
+                a, b = formula.args
+                if (
+                    isinstance(a, Var)
+                    and isinstance(b, Var)
+                    and a.name in scope
+                    and b.name in scope
+                    and (formula.func, frozenset((a.name, b.name)))
+                    in self._elide
+                ):
+                    return "True"
             if formula.func not in self._registry:
                 raise _OutOfFragment(f"unregistered predicate {formula.func!r}")
             fn = self.bind("f", self._registry.resolve(formula.func))
@@ -180,6 +237,247 @@ def compile_kernel(
     return CompiledKernel(
         fn=gen.namespace["_kernel"],
         var_names=tuple(var_names),
+        source=source,
+        registry_version=version,
+    )
+
+
+@dataclass(frozen=True)
+class BatchKernel:
+    """One formula lowered to a *vectorized* enumeration function.
+
+    Where :class:`CompiledKernel` answers one binding per Python call,
+    a batch kernel takes one candidate **pool per free variable** and
+    sweeps the full cross product in a single call, returning the
+    violating bindings (as tuples, in :func:`itertools.product`
+    order).  The per-binding call overhead -- argument packing, frame
+    setup, the ``bool()`` wrapper -- moves out of the inner loop, which
+    is the bulk of the remaining detection cost once predicates are
+    pre-resolved.
+
+    Attributes
+    ----------
+    fn:
+        ``fn(pool_0, ..., pool_k, domain) -> list[tuple[Context, ...]]``
+        with one positional pool per entry of ``var_names`` plus the
+        domain callable (serving any existentials inside the body).
+    var_names:
+        The free-variable order the pool parameters (and the entries
+        of each returned binding tuple) follow.
+    source:
+        The generated function source, for diagnostics and tests.
+    registry_version:
+        :attr:`FunctionRegistry.version` at compile time.
+    """
+
+    fn: Callable[..., List[tuple]]
+    var_names: Tuple[str, ...]
+    source: str
+    registry_version: int
+
+
+def compile_batch_kernel(
+    formula: Formula,
+    var_names: Sequence[str],
+    registry: FunctionRegistry,
+    elide: frozenset = frozenset(),
+) -> Optional[BatchKernel]:
+    """Lower ``formula`` into a batch kernel over ``var_names``.
+
+    The generated function runs the body expression inside nested
+    ``for`` loops (one per free variable, outermost first), so each
+    binding sees exactly the predicate calls, evaluation order, and
+    short-circuiting of the per-binding kernel -- any exception escapes
+    at the same binding it would have under a sequential sweep.
+    Returns ``None`` for out-of-fragment formulas and for closed
+    formulas (an empty ``var_names`` has nothing to batch over).
+
+    ``elide`` -- ``(func, frozenset({a, b}))`` pairs -- names equality
+    guards the caller proves true for every binding it will pass
+    (because the candidate pools are join-restricted on the guarded
+    field); they compile to ``True``, sparing one predicate call per
+    binding without changing any verdict.
+    """
+    if not var_names:
+        return None
+    version = registry.version
+    gen = _Codegen(registry, elide)
+    loop_vars = [gen.bind("q", None) for _ in var_names]
+    pools = [gen.bind("p", None) for _ in var_names]
+    for symbol in loop_vars + pools:
+        del gen.namespace[symbol]  # loop variables / parameters
+    scope = dict(zip(var_names, loop_vars, strict=True))
+    try:
+        expr = gen.emit(formula, scope)
+    except _OutOfFragment:
+        return None
+    signature = "".join(f"{p}, " for p in pools) + "_dom"
+    lines = [f"def _batch_kernel({signature}):"]
+    lines.append("    _vio = []")
+    lines.append("    _emit = _vio.append")
+    indent = "    "
+    for loop_var, pool in zip(loop_vars, pools, strict=True):
+        lines.append(f"{indent}for {loop_var} in {pool}:")
+        indent += "    "
+    lines.append(f"{indent}if not ({expr}):")
+    lines.append(f"{indent}    _emit(({', '.join(loop_vars)},))")
+    lines.append("    return _vio")
+    source = "\n".join(lines) + "\n"
+    exec(compile(source, "<constraint-batch-kernel>", "exec"), gen.namespace)
+    return BatchKernel(
+        fn=gen.namespace["_batch_kernel"],
+        var_names=tuple(var_names),
+        source=source,
+        registry_version=version,
+    )
+
+
+def _conjuncts(formula: Formula) -> List[Formula]:
+    """Flatten an ``And`` chain into evaluation order."""
+    if isinstance(formula, And):
+        return _conjuncts(formula.left) + _conjuncts(formula.right)
+    return [formula]
+
+
+@dataclass(frozen=True)
+class GroupKernel:
+    """Several constraint bodies fused into one pool sweep.
+
+    Constraints routinely quantify over the same candidate pools with
+    overlapping guards (the two call-forwarding velocity rules share
+    their whole join structure and most of their antecedent); sweeping
+    each body separately re-iterates the identical cross product and
+    recomputes the identical guard prefix.  A group kernel runs all
+    bodies inside **one** nested loop and hoists the longest common
+    antecedent prefix (matched on emitted source, with functions and
+    literals interned so identical subexpressions collide) into a
+    single shared computation: when the shared guard fails, every
+    fused implication is vacuously true and no further predicate runs
+    -- exactly each body's own short-circuit, paid once instead of
+    once per body.
+
+    Each body's verdicts are byte-identical to its solo
+    :class:`BatchKernel`; only *how often* shared guard predicates are
+    called changes.
+
+    Attributes
+    ----------
+    fn:
+        ``fn(pool_0, ..., pool_k, domain) -> tuple[list[tuple], ...]``
+        returning one violating-binding list per fused body, each in
+        :func:`itertools.product` order.
+    size:
+        Number of fused bodies (length of the returned tuple).
+    source:
+        The generated function source, for diagnostics and tests.
+    registry_version:
+        :attr:`FunctionRegistry.version` at compile time.
+    """
+
+    fn: Callable[..., Tuple[List[tuple], ...]]
+    size: int
+    source: str
+    registry_version: int
+
+
+def compile_group_kernel(
+    bodies: Sequence[Formula],
+    var_names_list: Sequence[Tuple[str, ...]],
+    registry: FunctionRegistry,
+    elides: Sequence[frozenset] = (),
+) -> Optional[GroupKernel]:
+    """Fuse ``bodies`` (one per constraint) into one batch sweep.
+
+    All bodies must quantify over the same positional pool shapes
+    (``var_names_list`` entries have equal length; spellings may
+    differ -- each body is emitted against its own name -> loop-var
+    scope).  ``elides[i]`` is body ``i``'s guard-elision set (see
+    :func:`compile_batch_kernel`).  Returns ``None`` when any body is
+    out of fragment or the group is degenerate.
+    """
+    if len(bodies) < 2 or len(var_names_list) != len(bodies):
+        return None
+    arity = len(var_names_list[0])
+    if arity == 0 or any(len(names) != arity for names in var_names_list):
+        return None
+    if not elides:
+        elides = [frozenset()] * len(bodies)
+    version = registry.version
+    gen = _Codegen(registry, intern=True)
+    loop_vars = [gen._bind_fresh("q", None) for _ in range(arity)]
+    pools = [gen._bind_fresh("p", None) for _ in range(arity)]
+    for symbol in loop_vars + pools:
+        del gen.namespace[symbol]  # loop variables / parameters
+    # Emit every body: implications decompose into (antecedent
+    # conjunct strings, consequent string) so common guard prefixes
+    # can be hoisted; anything else stays a single opaque expression.
+    emitted: List[Tuple[Optional[List[str]], str]] = []
+    try:
+        for body, names, elide in zip(
+            bodies, var_names_list, elides, strict=True
+        ):
+            gen._elide = elide
+            scope = dict(zip(names, loop_vars, strict=True))
+            if isinstance(body, Implies):
+                conjs = [
+                    expr
+                    for expr in (
+                        gen.emit(conj, scope)
+                        for conj in _conjuncts(body.left)
+                    )
+                    if expr != "True"  # elided guards are and-identity
+                ]
+                emitted.append((conjs, gen.emit(body.right, scope)))
+            else:
+                emitted.append((None, gen.emit(body, scope)))
+    except _OutOfFragment:
+        return None
+    # Longest antecedent prefix shared by *all* bodies (source-string
+    # equality is sound because functions and literals are interned).
+    prefix: List[str] = []
+    if all(conjs is not None for conjs, _ in emitted):
+        candidate = emitted[0][0] or []
+        depth = 0
+        while depth < len(candidate) and all(
+            depth < len(conjs) and conjs[depth] == candidate[depth]
+            for conjs, _ in emitted
+        ):
+            depth += 1
+        prefix = candidate[:depth]
+
+    def body_expr(conjs: Optional[List[str]], cons: str) -> str:
+        if conjs is None:
+            return cons
+        rest = conjs[len(prefix):]
+        if not rest:
+            return cons
+        return f"(not ({' and '.join(rest)})) or {cons}"
+
+    signature = "".join(f"{p}, " for p in pools) + "_dom"
+    lines = [f"def _group_kernel({signature}):"]
+    emits = []
+    for k in range(len(bodies)):
+        lines.append(f"    _v{k} = []")
+        lines.append(f"    _e{k} = _v{k}.append")
+        emits.append(f"_e{k}")
+    indent = "    "
+    for loop_var, pool in zip(loop_vars, pools, strict=True):
+        lines.append(f"{indent}for {loop_var} in {pool}:")
+        indent += "    "
+    if prefix:
+        lines.append(f"{indent}if {' and '.join(prefix)}:")
+        indent += "    "
+    binding = f"({', '.join(loop_vars)},)"
+    for k, (conjs, cons) in enumerate(emitted):
+        lines.append(f"{indent}if not ({body_expr(conjs, cons)}):")
+        lines.append(f"{indent}    {emits[k]}({binding})")
+    returns = ", ".join(f"_v{k}" for k in range(len(bodies)))
+    lines.append(f"    return ({returns},)")
+    source = "\n".join(lines) + "\n"
+    exec(compile(source, "<constraint-group-kernel>", "exec"), gen.namespace)
+    return GroupKernel(
+        fn=gen.namespace["_group_kernel"],
+        size=len(bodies),
         source=source,
         registry_version=version,
     )

@@ -29,21 +29,42 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.context import Context
-from .ast import Constraint, Existential, Formula, Universal
+from .ast import (
+    And,
+    Constraint,
+    Existential,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    Universal,
+    Var,
+)
 from .builtins import FunctionRegistry
-from .compile import CompiledKernel, compile_kernel
+from .compile import (
+    BatchKernel,
+    CompiledKernel,
+    GroupKernel,
+    compile_batch_kernel,
+    compile_group_kernel,
+    compile_kernel,
+)
 from .evaluator import Domain, Evaluator
 from .index import (
+    EQUALITY_PREDICATES,
     FIELD_GETTERS,
     EphemeralScopeIndex,
     JoinAnalysis,
     analyze_joins,
 )
+from .normalize import canonical_key
 
 __all__ = [
     "PrefixAnalysis",
     "analyze_prefix",
     "ConstraintPlan",
+    "GroupPlan",
     "IncrementalEngine",
 ]
 
@@ -111,9 +132,20 @@ class ConstraintPlan:
 
     ``kernel`` is the compiled body kernel (parameters in prefix-
     variable order) or ``None`` for out-of-fragment bodies or when
-    kernels are disabled.  ``restrict[p][q]`` lists the fields that
-    position ``q`` must share with a context pinned at position ``p``
-    (empty tuple when unconstrained -- including ``q == p``).
+    kernels are disabled.  ``batch_kernels[p]`` is the vectorized
+    lowering of the same body used when the new context is pinned at
+    position ``p`` (one candidate pool per parameter); each variant
+    elides the equality guards that pinning at ``p`` makes provably
+    true (see :func:`_elidable_guards`), and the tuple is empty when
+    batch kernels are disabled or the body did not compile.  All
+    kernels may be *shared* across constraints whose bodies are
+    structurally identical up to variable renaming (see
+    :func:`~repro.constraints.normalize.canonical_key`), so their
+    ``var_names`` attribute can spell the sharing constraint's
+    variables -- binding environments always use the plan's own
+    ``var_names``.  ``restrict[p][q]`` lists the fields that position
+    ``q`` must share with a context pinned at position ``p`` (empty
+    tuple when unconstrained -- including ``q == p``).
     """
 
     analysis: PrefixAnalysis
@@ -121,13 +153,117 @@ class ConstraintPlan:
     kernel: Optional[CompiledKernel]
     joins: JoinAnalysis
     restrict: Tuple[Tuple[Tuple[str, ...], ...], ...]
+    batch_kernels: Tuple[Optional[BatchKernel], ...] = ()
+    #: Canonical structural key of the body (rename-invariant); keys
+    #: the cross-constraint kernel caches.  ``None`` off the fast path.
+    canon: Optional[Tuple] = None
+    #: Indices into ``var_names`` of the variables bound by the single
+    #: violation link every violating binding provably yields (see
+    #: :func:`_link_shape`), letting the batched paths materialize the
+    #: violation's context set straight from the binding tuple.
+    #: ``None`` when the link shape is environment-dependent and the
+    #: evaluator must be consulted per violating binding.
+    vio_positions: Optional[Tuple[int, ...]] = None
 
     def join_fields(self) -> Tuple[str, ...]:
         """Distinct fields any of this plan's joins prune on."""
         return tuple(sorted({field for field, _ in self.joins.groups}))
 
 
+@dataclass(frozen=True)
+class GroupPlan:
+    """A set of constraints fused into one batched pool sweep.
+
+    Built by :meth:`IncrementalEngine.fusion_plan` for constraints
+    whose prefixes quantify the same type sequence with the same join
+    structure (``restrict``): their candidate pools are identical for
+    any pinned context, so one sweep serves all of them, and
+    :class:`~repro.constraints.compile.GroupKernel` additionally
+    shares their common guard prefix.  ``names`` / ``plans`` are in
+    the order the fused verdict lists come back; ``kernels[p]`` is the
+    fused variant for the new context pinned at position ``p``.
+    """
+
+    names: Tuple[str, ...]
+    plans: Tuple[ConstraintPlan, ...]
+    vars_types: Tuple[Tuple[str, str], ...]
+    restrict: Tuple[Tuple[Tuple[str, ...], ...], ...]
+    kernels: Tuple[Optional[GroupKernel], ...]
+
+
 _NO_JOINS = JoinAnalysis(())
+
+
+def _elidable_guards(
+    var_names: Tuple[str, ...],
+    restrict_row: Tuple[Tuple[str, ...], ...],
+    position: int,
+) -> Tuple[frozenset, frozenset]:
+    """Equality guards provably true when ``position`` is pinned.
+
+    With a context pinned at ``position``, every candidate pool whose
+    restriction row names field ``f`` holds only contexts agreeing
+    with the pinned context on ``f`` (and the pinned position agrees
+    with itself), so by transitivity an equality predicate on ``f``
+    between any two such positions is true for every enumerated
+    binding -- the batch kernel can emit ``True`` for it and skip the
+    call.  Returns the name-based elide set consumed by
+    :func:`~repro.constraints.compile.compile_batch_kernel` plus a
+    position-based signature that keys the cross-constraint sharing
+    cache (rename-invariant, like the canonical body key).
+
+    Like join pruning itself, this trusts
+    :data:`~repro.constraints.index.EQUALITY_PREDICATES`: the named
+    getters must implement genuine (reflexive) field equality.
+    """
+    elide = set()
+    signature = set()
+    for func, field in EQUALITY_PREDICATES.items():
+        agree = [position] + [
+            q for q, fields in enumerate(restrict_row) if field in fields
+        ]
+        for a in range(len(agree)):
+            for b in range(a + 1, len(agree)):
+                i, j = agree[a], agree[b]
+                elide.add((func, frozenset((var_names[i], var_names[j]))))
+                signature.add((func, (min(i, j), max(i, j))))
+    return frozenset(elide), frozenset(signature)
+
+
+def _link_shape(formula: Formula, violated: bool) -> Optional[FrozenSet[str]]:
+    """Variable set of the single explanatory link, when determinate.
+
+    Returns the variable names ``V`` such that for **every**
+    environment making ``formula`` false (``violated=True``) or true
+    (``violated=False``), the evaluator's corresponding link set is
+    exactly one link binding exactly ``V``; ``None`` when the shape
+    depends on which subformula failed (a violated conjunction is
+    explained only by its failed side) or the node carries
+    quantifiers.  Per the evaluator's semantics: predicate links bind
+    the predicate's variable arguments, negation swaps the roles, the
+    cross-joined side (satisfied conjunction / violated disjunction)
+    unions the variable sets, and the union side (violated
+    conjunction / satisfied disjunction) is determinate only when both
+    branches provably yield the *same* link -- under one environment,
+    equal variable sets mean equal links, so the union still holds one.
+    """
+    if isinstance(formula, Predicate):
+        return frozenset(
+            term.name for term in formula.args if isinstance(term, Var)
+        )
+    if isinstance(formula, Not):
+        return _link_shape(formula.operand, not violated)
+    if isinstance(formula, Implies):
+        formula = Or(Not(formula.left), formula.right)
+    if isinstance(formula, (And, Or)):
+        left = _link_shape(formula.left, violated)
+        right = _link_shape(formula.right, violated)
+        if left is None or right is None:
+            return None
+        if violated == isinstance(formula, Or):
+            return left | right
+        return left if left == right else None
+    return None
 
 
 class IncrementalEngine:
@@ -146,15 +282,33 @@ class IncrementalEngine:
         compiled kernels (:mod:`.compile`) and candidate enumeration
         is pruned by equality-join indexes (:mod:`.index`).  When
         ``False`` the engine is the pure interpreted reference path.
+    batch_kernels:
+        When ``True`` (default; requires ``kernels``), plans also
+        carry per-pinned-position vectorized
+        :class:`~repro.constraints.compile.BatchKernel` variants
+        (with join-guaranteed equality guards elided), used
+        exclusively by the batched detection path
+        (``new_violations(..., batched=True)``).  The per-context
+        path never consults them, so sequential detection speed is
+        unaffected either way.
 
-    The engine keeps four cumulative statistics that the checker turns
+    Compiled kernels are shared **across constraints**: plan building
+    keys both lowerings on the body's canonical structural key
+    (:func:`~repro.constraints.normalize.canonical_key`), so
+    constraint families stamped out from one template -- same shape,
+    different names/literals bound elsewhere -- compile once.  The
+    cache lives and dies with the plan cache (flushed on registry
+    version bumps, which is what invalidates pre-bound predicates).
+
+    The engine keeps cumulative statistics that the checker turns
     into telemetry counters: ``bindings_enumerated`` /
     ``bindings_pruned`` count candidate bindings actually evaluated
     vs. skipped by join pruning (computed arithmetically, not per
-    binding), and ``kernel_hits`` / ``interpreter_fallbacks`` count
+    binding), ``kernel_hits`` / ``interpreter_fallbacks`` count
     per-constraint evaluations that used a compiled kernel vs. the
     interpreter (out-of-fragment bodies and non-prefix-universal
-    constraints).
+    constraints), and ``subexpr_memo_hits`` / ``subexpr_memo_misses``
+    count canonical-key cache probes at plan-build time.
     """
 
     def __init__(
@@ -162,17 +316,26 @@ class IncrementalEngine:
         registry: FunctionRegistry,
         enabled: bool = True,
         kernels: bool = True,
+        batch_kernels: bool = True,
     ) -> None:
         self._registry = registry
         self._evaluator = Evaluator(registry, use_kernels=kernels)
         self._enabled = enabled
         self._kernels = kernels
+        self._batch_kernels = batch_kernels and kernels
         self._plans: Dict[str, ConstraintPlan] = {}
+        # Tagged canonical keys -> compiled kernels, shared across
+        # structurally identical constraints; flushed with the plans.
+        self._canon: Dict[Tuple, object] = {}
+        # (constraint name tuple) -> fusion units, for detect_batch.
+        self._group_cache: Dict[Tuple[str, ...], List] = {}
         self._plans_version = registry.version
         self.bindings_enumerated = 0
         self.bindings_pruned = 0
         self.kernel_hits = 0
         self.interpreter_fallbacks = 0
+        self.subexpr_memo_hits = 0
+        self.subexpr_memo_misses = 0
 
     def plan_for(self, constraint: Constraint) -> ConstraintPlan:
         """The (cached) execution plan for ``constraint``.
@@ -182,12 +345,57 @@ class IncrementalEngine:
         """
         if self._plans_version != self._registry.version:
             self._plans.clear()
+            self._canon.clear()
+            self._group_cache.clear()
             self._plans_version = self._registry.version
         plan = self._plans.get(constraint.name)
         if plan is None:
             plan = self._build_plan(constraint)
             self._plans[constraint.name] = plan
         return plan
+
+    def _compile_shared(
+        self,
+        body: Formula,
+        var_names: Tuple[str, ...],
+        restrict: Tuple[Tuple[Tuple[str, ...], ...], ...],
+    ):
+        """Kernels for ``body``, shared via canonical structural keys.
+
+        The per-binding kernel is keyed on the body's canonical key
+        alone; each per-position batch-kernel variant additionally
+        keys on its (position-based, hence rename-invariant) guard
+        elision signature, so two constraints share a variant exactly
+        when their bodies *and* their join structure line up.
+        """
+        canon = canonical_key(body, var_names)
+        key = ("kernel", canon)
+        if key in self._canon:
+            self.subexpr_memo_hits += 1
+            kernel = self._canon[key]
+        else:
+            self.subexpr_memo_misses += 1
+            kernel = compile_kernel(body, var_names, self._registry)
+            self._canon[key] = kernel
+        if kernel is None or not self._batch_kernels:
+            return kernel, (), canon
+        batch_kernels: List[Optional[BatchKernel]] = []
+        for position in range(len(var_names)):
+            elide, signature = _elidable_guards(
+                var_names, restrict[position], position
+            )
+            bkey = ("batch", canon, signature)
+            if bkey in self._canon:
+                self.subexpr_memo_hits += 1
+                batch_kernels.append(self._canon[bkey])
+            else:
+                self.subexpr_memo_misses += 1
+                variant = compile_batch_kernel(
+                    body, var_names, self._registry, elide
+                )
+                self._canon[bkey] = variant
+                batch_kernels.append(variant)
+        return kernel, tuple(batch_kernels), canon
 
     def _build_plan(self, constraint: Constraint) -> ConstraintPlan:
         analysis = analyze_prefix(constraint)
@@ -196,10 +404,11 @@ class IncrementalEngine:
         assert analysis.vars_types is not None and analysis.body is not None
         var_names = tuple(var for var, _ in analysis.vars_types)
         kernel = None
+        batch_kernels: Tuple[Optional[BatchKernel], ...] = ()
+        canon = None
         joins = _NO_JOINS
         restrict: Tuple[Tuple[Tuple[str, ...], ...], ...] = ()
         if self._kernels:
-            kernel = compile_kernel(analysis.body, var_names, self._registry)
             joins = analyze_joins(analysis.vars_types, analysis.body)
             size = len(var_names)
             restrict = tuple(
@@ -209,9 +418,221 @@ class IncrementalEngine:
                 )
                 for p in range(size)
             )
-        return ConstraintPlan(analysis, var_names, kernel, joins, restrict)
+            kernel, batch_kernels, canon = self._compile_shared(
+                analysis.body, var_names, restrict
+            )
+        shape = _link_shape(analysis.body, violated=True)
+        vio_positions = (
+            tuple(i for i, v in enumerate(var_names) if v in shape)
+            if shape is not None and shape <= set(var_names)
+            else None
+        )
+        return ConstraintPlan(
+            analysis,
+            var_names,
+            kernel,
+            joins,
+            restrict,
+            batch_kernels,
+            canon,
+            vio_positions,
+        )
 
-    # -- detection -------------------------------------------------------
+    # -- cross-constraint fusion -----------------------------------------
+
+    def fusion_plan(self, constraints: Sequence[Constraint]) -> List:
+        """Partition ``constraints`` into batched execution units.
+
+        Returns a list of units in an order that preserves nothing the
+        caller needs (verdicts are re-emitted in the caller's own
+        constraint order): each unit is either a single
+        :class:`~repro.constraints.ast.Constraint` or a
+        :class:`GroupPlan` fusing constraints that quantify the same
+        type sequence with the same join structure.  Cached per
+        constraint-name tuple; flushed with the plan cache on registry
+        version bumps.
+        """
+        plans = [self.plan_for(c) for c in constraints]  # flushes stale
+        names = tuple(c.name for c in constraints)
+        cached = self._group_cache.get(names)
+        if cached is not None:
+            return cached
+        buckets: Dict[Tuple, List[int]] = {}
+        if self._enabled and self._batch_kernels:
+            for i, plan in enumerate(plans):
+                if plan.batch_kernels and plan.canon is not None:
+                    key = (
+                        tuple(t for _, t in plan.analysis.vars_types),
+                        plan.restrict,
+                    )
+                    buckets.setdefault(key, []).append(i)
+        fused: Dict[int, GroupPlan] = {}
+        grouped: set = set()
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            group = self._build_group(
+                [constraints[i] for i in members],
+                [plans[i] for i in members],
+            )
+            if group is not None:
+                fused[members[0]] = group
+                grouped.update(members)
+        units: List = []
+        for i, constraint in enumerate(constraints):
+            if i in fused:
+                units.append(fused[i])
+            elif i not in grouped:
+                units.append(constraint)
+        self._group_cache[names] = units
+        return units
+
+    def _build_group(
+        self,
+        constraints: Sequence[Constraint],
+        plans: Sequence[ConstraintPlan],
+    ) -> Optional[GroupPlan]:
+        """Fused per-position kernels for same-shape constraints, or
+        ``None`` when any position fails to fuse (callers then keep
+        the constraints as singles)."""
+        lead = plans[0]
+        vars_types = lead.analysis.vars_types
+        assert vars_types is not None
+        restrict = lead.restrict
+        canons = tuple(plan.canon for plan in plans)
+        bodies = [plan.analysis.body for plan in plans]
+        var_names_list = [plan.var_names for plan in plans]
+        kernels: List[Optional[GroupKernel]] = []
+        for position in range(len(vars_types)):
+            elides = []
+            signature: frozenset = frozenset()
+            for plan in plans:
+                elide, signature = _elidable_guards(
+                    plan.var_names, restrict[position], position
+                )
+                elides.append(elide)
+            gkey = ("group", canons, signature)
+            if gkey in self._canon:
+                self.subexpr_memo_hits += 1
+                kernels.append(self._canon[gkey])
+            else:
+                self.subexpr_memo_misses += 1
+                fused = compile_group_kernel(
+                    bodies, var_names_list, self._registry, elides
+                )
+                self._canon[gkey] = fused
+                kernels.append(fused)
+        if any(kernel is None for kernel in kernels):
+            return None
+        return GroupPlan(
+            names=tuple(c.name for c in constraints),
+            plans=tuple(plans),
+            vars_types=vars_types,
+            restrict=restrict,
+            kernels=tuple(kernels),
+        )
+
+    def new_violations_group(
+        self,
+        group: GroupPlan,
+        ctx: Context,
+        scope: Sequence[Context],
+        domain: Domain,
+        view=None,
+    ) -> List[List[FrozenSet[Context]]]:
+        """Violations involving ``ctx``, per fused constraint.
+
+        The fused analogue of ``new_violations(..., batched=True)``
+        over every member of ``group`` at once: candidate pools are
+        built once per pinned position (the members share their join
+        structure by construction) and swept by one
+        :class:`~repro.constraints.compile.GroupKernel` call.  Returns
+        one violation list per member, aligned with ``group.names``,
+        each byte-identical to the member's solo result.
+        """
+        vars_types = group.vars_types
+        ctx_positions = [
+            index
+            for index, (_, ctx_type) in enumerate(vars_types)
+            if ctx_type == ctx.ctx_type
+        ]
+        members = len(group.plans)
+        if not ctx_positions:
+            return [[] for _ in range(members)]
+        if view is None:
+            view = EphemeralScopeIndex(scope)
+        seen: List[Set[FrozenSet[Context]]] = [set() for _ in range(members)]
+        violations: List[List[FrozenSet[Context]]] = [
+            [] for _ in range(members)
+        ]
+        enumerated = 0
+        full = 0
+        earlier: Set[int] = set()
+        for position in ctx_positions:
+            pools: List[Sequence[Context]] = []
+            pool_product = 1
+            full_product = 1
+            restrict_row = group.restrict[position]
+            for index, (_, ctx_type) in enumerate(vars_types):
+                if index == position:
+                    pools.append((ctx,))
+                    continue
+                fields = restrict_row[index]
+                if fields:
+                    pool: Sequence[Context] = view.candidates(
+                        ctx_type,
+                        [(f, FIELD_GETTERS[f](ctx)) for f in fields],
+                    )
+                else:
+                    pool = view.extent(ctx_type)
+                extent_size = view.extent_size(ctx_type)
+                if ctx_type == ctx.ctx_type and index not in earlier:
+                    pool = list(pool)
+                    pool.append(ctx)
+                    extent_size += 1
+                pools.append(pool)
+                pool_product *= len(pool)
+                full_product *= extent_size
+            earlier.add(position)
+            enumerated += pool_product * members
+            full += full_product * members
+            if not pool_product:
+                continue
+            kernel = group.kernels[position]
+            assert kernel is not None
+            for k, bindings in enumerate(kernel.fn(*pools, domain)):
+                if not bindings:
+                    continue
+                plan = group.plans[k]
+                seen_k = seen[k]
+                out_k = violations[k]
+                vio_positions = plan.vio_positions
+                if vio_positions is not None:
+                    for binding in bindings:
+                        contexts = frozenset(
+                            binding[i] for i in vio_positions
+                        )
+                        if ctx in contexts and contexts not in seen_k:
+                            seen_k.add(contexts)
+                            out_k.append(contexts)
+                    continue
+                body = plan.analysis.body
+                var_names = plan.var_names
+                for binding in bindings:
+                    result = self._evaluator.evaluate(
+                        body,
+                        domain,
+                        dict(zip(var_names, binding, strict=True)),
+                    )
+                    for link in result.vio_links:
+                        contexts = link.contexts()
+                        if ctx in contexts and contexts not in seen_k:
+                            seen_k.add(contexts)
+                            out_k.append(contexts)
+        self.bindings_enumerated += enumerated
+        self.bindings_pruned += full - enumerated
+        self.kernel_hits += members
+        return violations
 
     def new_violations(
         self,
@@ -220,6 +641,7 @@ class IncrementalEngine:
         scope: Sequence[Context],
         domain: Domain,
         view=None,
+        batched: bool = False,
     ) -> List[FrozenSet[Context]]:
         """Violations of ``constraint`` that involve ``ctx``.
 
@@ -231,12 +653,16 @@ class IncrementalEngine:
         :class:`~repro.constraints.index.EphemeralScopeIndex`); the
         checker builds one per detect call and shares it across
         constraints so per-constraint ``by_type`` rebuilds disappear.
+        ``batched=True`` (the :meth:`ConstraintChecker.detect_batch`
+        path) sweeps candidate pools through the vectorized batch
+        kernel where available -- the result is identical, only the
+        per-binding Python call overhead disappears.
         """
         plan = self.plan_for(constraint)
         if self._enabled and plan.analysis.is_prefix_universal:
             if view is None:
                 view = EphemeralScopeIndex(scope)
-            return self._fast_path(plan, ctx, view, domain)
+            return self._fast_path(plan, ctx, view, domain, batched)
         self.interpreter_fallbacks += 1
         return [
             contexts
@@ -250,6 +676,7 @@ class IncrementalEngine:
         ctx: Context,
         view,
         domain: Domain,
+        batched: bool = False,
     ) -> List[FrozenSet[Context]]:
         analysis = plan.analysis
         assert analysis.vars_types is not None and analysis.body is not None
@@ -312,7 +739,44 @@ class IncrementalEngine:
             if not pool_product:
                 continue
 
-            if kernel is not None:
+            batch_kernel = (
+                plan.batch_kernels[position]
+                if batched and plan.batch_kernels
+                else None
+            )
+            if batch_kernel is not None:
+                # One call sweeps the whole cross product: the nested
+                # loops live inside the compiled function, which
+                # returns the violating bindings in exactly
+                # ``itertools.product`` order (same predicates minus
+                # the join-guaranteed equality guards this pinned
+                # position elides, same short-circuiting, same
+                # escaping exceptions).
+                vio_positions = plan.vio_positions
+                if vio_positions is not None:
+                    # Link shape is statically determinate: the one
+                    # violation link binds exactly these positions, so
+                    # its context set comes straight off the binding.
+                    for binding in batch_kernel.fn(*pools, domain):
+                        contexts = frozenset(
+                            binding[i] for i in vio_positions
+                        )
+                        if ctx in contexts and contexts not in seen:
+                            seen.add(contexts)
+                            violations.append(contexts)
+                else:
+                    for binding in batch_kernel.fn(*pools, domain):
+                        result = self._evaluator.evaluate(
+                            body,
+                            domain,
+                            dict(zip(var_names, binding, strict=True)),
+                        )
+                        for link in result.vio_links:
+                            contexts = link.contexts()
+                            if ctx in contexts and contexts not in seen:
+                                seen.add(contexts)
+                                violations.append(contexts)
+            elif kernel is not None:
                 fn = kernel.fn
                 for binding in itertools.product(*pools):
                     # Truth first (cheap); links only for violations.

@@ -45,6 +45,7 @@ from typing import (
     Iterable,
     List,
     Mapping,
+    Optional,
     Sequence,
     Tuple,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "analyze_joins",
     "CandidateIndex",
     "EphemeralScopeIndex",
+    "BatchOverlayView",
 ]
 
 #: Context field name -> extractor.  Values must be hashable.
@@ -204,6 +206,9 @@ def analyze_joins(
 # -- candidate indexes --------------------------------------------------------
 
 _EMPTY: Dict[str, Context] = {}
+# One shared (and necessarily forever-empty) values view: a probe that
+# misses every bucket should not allocate anything.
+_EMPTY_VALUES = _EMPTY.values()
 
 #: Restriction list: ``(field, required value)`` pairs.
 Restrictions = Sequence[Tuple[str, object]]
@@ -220,6 +225,11 @@ class CandidateIndex:
 
     Fields are indexed lazily: the first :meth:`candidates` query for
     a field backfills its buckets from the current contents.
+
+    :attr:`generation` counts content mutations (adds, removes,
+    clears).  Batched detection memoizes probe results across calls
+    and uses the generation as its invalidation stamp: an unchanged
+    generation guarantees every memoized result is still exact.
     """
 
     def __init__(self, fields: Iterable[str] = ()) -> None:
@@ -228,6 +238,7 @@ class CandidateIndex:
         self._buckets: Dict[Tuple[str, str], Dict[object, Dict[str, Context]]] = {}
         self._fields: List[str] = []
         self.size = 0
+        self.generation = 0
         for field in fields:
             self.ensure_field(field)
 
@@ -236,6 +247,7 @@ class CandidateIndex:
     def on_add(self, ctx: Context) -> None:
         self._by_type.setdefault(ctx.ctx_type, {})[ctx.ctx_id] = ctx
         self.size += 1
+        self.generation += 1
         for field in self._fields:
             value = FIELD_GETTERS[field](ctx)
             bucket = self._buckets.setdefault((ctx.ctx_type, field), {})
@@ -247,6 +259,7 @@ class CandidateIndex:
             return
         del extent[ctx.ctx_id]
         self.size -= 1
+        self.generation += 1
         for field in self._fields:
             value = FIELD_GETTERS[field](ctx)
             by_value = self._buckets.get((ctx.ctx_type, field))
@@ -259,6 +272,7 @@ class CandidateIndex:
         self._by_type.clear()
         self._buckets.clear()
         self.size = 0
+        self.generation += 1
 
     # -- maintenance --
 
@@ -285,10 +299,15 @@ class CandidateIndex:
 
     def extent(self, ctx_type: str) -> Sequence[Context]:
         """All contexts of ``ctx_type``, in arrival order."""
-        return self._by_type.get(ctx_type, _EMPTY).values()
+        extent = self._by_type.get(ctx_type)
+        # A miss shares one empty view instead of allocating a fresh
+        # ``{}.values()`` per probe (hot path: every non-joined
+        # position of every constraint probes here per detect).
+        return extent.values() if extent is not None else _EMPTY_VALUES
 
     def extent_size(self, ctx_type: str) -> int:
-        return len(self._by_type.get(ctx_type, _EMPTY))
+        extent = self._by_type.get(ctx_type)
+        return len(extent) if extent is not None else 0
 
     def candidates(
         self, ctx_type: str, restrictions: Restrictions
@@ -300,7 +319,8 @@ class CandidateIndex:
         field, value = restrictions[0]
         if field not in self._fields:
             self.ensure_field(field)
-        bucket = self._buckets.get((ctx_type, field), _EMPTY).get(value)
+        by_value = self._buckets.get((ctx_type, field))
+        bucket = by_value.get(value) if by_value is not None else None
         if not bucket:
             return ()
         matches = bucket.values()
@@ -361,3 +381,238 @@ class EphemeralScopeIndex:
             for ctx in matches
             if all(getter(ctx) == v for getter, v in rest)
         ]
+
+
+_INF = float("inf")
+
+
+def _min_expiry(contexts: Sequence[Context]) -> float:
+    lowest = _INF
+    for ctx in contexts:
+        expiry = ctx.expiry
+        if expiry < lowest:
+            lowest = expiry
+    return lowest
+
+
+class BatchOverlayView:
+    """One detect_batch row's checking scope, without copying the pool.
+
+    Batched detection evaluates row ``k`` of a batch against the scope
+    a sequential sweep would have given it: the base scope as of the
+    batch start, **minus** contexts that have expired by the row's
+    clock, **plus** the earlier batch rows that joined the pool.  This
+    view presents exactly that through the candidate-index query
+    interface (:meth:`extent` / :meth:`extent_size` /
+    :meth:`candidates`), composing three layers:
+
+    * a *base* index (:class:`CandidateIndex` or
+      :class:`EphemeralScopeIndex`) probed **once per distinct
+      (type, field, value) group per batch** -- results land in the
+      caller-supplied ``probe_memo`` keyed on the probe's canonical
+      form, the per-batch subexpression sharing of the guard/join
+      layer (hits and misses are counted for the
+      ``subexpr_memo_{hits,misses}_total`` telemetry series).  The
+      memo may outlive one batch: the checker stamps it with
+      ``(registry.version, index.generation)`` and flushes it when
+      either moves (predicate replacement / pool mutation);
+    * an *overlay* of batch rows appended via :meth:`append` as the
+      sweep admits them, in arrival order behind the base extent --
+      exactly where a pool add would have put them;
+    * a per-row expiry *cutoff* (:meth:`set_cutoff`): contexts with
+      ``expiry <= cutoff`` are invisible, which is precisely the
+      ``is_expired`` condition the sequential sweep removes on.
+
+    Probe results are byte-identical, including order, to an index
+    over the swept pool at the row's clock.  The filtering is
+    *amortized*: every layer tracks its minimum live expiry and only
+    rescans when the cutoff actually crosses it, so a context is
+    filtered out of a given probe group at most once per batch, and
+    repeated probes of one group inside one row hit a stamped combined
+    cache.  Returned sequences are snapshots -- later appends or
+    cutoff moves never mutate a sequence already handed out.
+    """
+
+    def __init__(self, base, probe_memo: Dict) -> None:
+        self._base = base
+        # key -> [full tuple, live list, min live expiry, cutoff,
+        # epoch] (shared across batches; holds base contexts only; the
+        # epoch bumps whenever the live list is replaced, stamping the
+        # combined cache below).
+        self._memo = probe_memo
+        self._rows: Dict[str, List[Context]] = {}
+        # key -> [live matches, min live expiry, rows consumed,
+        # cutoff, epoch]
+        self._matches: Dict[Tuple, List] = {}
+        # key -> (combined list, (base epoch, match epoch, match len))
+        self._combined: Dict[Tuple, Tuple] = {}
+        self._cutoff = float("-inf")
+        # ctx_type -> live extent size at the current cutoff; several
+        # constraints ask for the same extent size within one row.
+        self._sizes: Dict[str, int] = {}
+        # Row-level result cache: several constraints re-probe the
+        # same group within one row (shared join structure), and
+        # nothing can change between those probes.  key -> (result,
+        # (cutoff, per-type append count)); stale stamps fall through
+        # to the layered walk.
+        self._results: Dict[Tuple, Tuple] = {}
+        self._appends: Dict[str, int] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def set_cutoff(self, now: float) -> None:
+        """Hide contexts with ``expiry <= now`` from subsequent probes."""
+        if now != self._cutoff:
+            self._cutoff = now
+            self._sizes.clear()
+
+    def append(self, ctx: Context) -> None:
+        """A batch row joined the scope for all later rows."""
+        self._rows.setdefault(ctx.ctx_type, []).append(ctx)
+        self._sizes.pop(ctx.ctx_type, None)
+        self._appends[ctx.ctx_type] = self._appends.get(ctx.ctx_type, 0) + 1
+
+    def _base_entry(self, key: Tuple) -> List:
+        entry = self._memo.get(key)
+        if entry is None:
+            self.memo_misses += 1
+            ctx_type, restrictions = key
+            if restrictions:
+                full = tuple(self._base.candidates(ctx_type, restrictions))
+            else:
+                full = tuple(self._base.extent(ctx_type))
+            entry = [full, full, _min_expiry(full), float("-inf"), 0]
+            self._memo[key] = entry
+        else:
+            self.memo_hits += 1
+        cutoff = self._cutoff
+        if cutoff != entry[3]:
+            if cutoff < entry[3]:
+                # The clock went backwards (a fresh batch over an
+                # unchanged pool): restart from the full result.
+                entry[1] = entry[0]
+                entry[2] = _min_expiry(entry[0])
+                entry[4] += 1
+            entry[3] = cutoff
+            if entry[2] <= cutoff:
+                lowest = _INF
+                live = []
+                for ctx in entry[1]:
+                    expiry = ctx.expiry
+                    if expiry > cutoff:
+                        live.append(ctx)
+                        if expiry < lowest:
+                            lowest = expiry
+                entry[1] = live
+                entry[2] = lowest
+                entry[4] += 1
+        return entry
+
+    def _match_entry(self, key: Tuple) -> Optional[List]:
+        ctx_type, restrictions = key
+        rows = self._rows.get(ctx_type)
+        if not rows:
+            return None
+        cutoff = self._cutoff
+        entry = self._matches.get(key)
+        if entry is None:
+            entry = self._matches[key] = [[], _INF, 0, cutoff, 0]
+        elif cutoff < entry[3]:
+            # The clock went backwards (legal, if unusual), which
+            # could resurrect an already filtered row: reconsume the
+            # overlay from the top.  The entry object is reused so its
+            # epoch keeps counting up (the combined-cache stamp).
+            entry[0] = []
+            entry[1] = _INF
+            entry[2] = 0
+            entry[3] = cutoff
+            entry[4] += 1
+        else:
+            entry[3] = cutoff
+        live, lowest, consumed = entry[0], entry[1], entry[2]
+        if consumed < len(rows):
+            if restrictions:
+                rest = [(FIELD_GETTERS[f], v) for f, v in restrictions]
+                for ctx in rows[consumed:]:
+                    if all(getter(ctx) == v for getter, v in rest):
+                        live.append(ctx)
+                        if ctx.expiry < lowest:
+                            lowest = ctx.expiry
+            else:
+                for ctx in rows[consumed:]:
+                    live.append(ctx)
+                    if ctx.expiry < lowest:
+                        lowest = ctx.expiry
+            entry[2] = len(rows)
+        if lowest <= cutoff:
+            lowest = _INF
+            filtered = []
+            for ctx in live:
+                expiry = ctx.expiry
+                if expiry > cutoff:
+                    filtered.append(ctx)
+                    if expiry < lowest:
+                        lowest = expiry
+            live = filtered
+            entry[0] = live
+            entry[4] += 1
+        entry[1] = lowest
+        return entry
+
+    def _probe(
+        self, ctx_type: str, restrictions: Tuple
+    ) -> Sequence[Context]:
+        key = (ctx_type, restrictions)
+        stamp = (self._cutoff, self._appends.get(ctx_type, 0))
+        cached = self._results.get(key)
+        if cached is not None and cached[1] == stamp:
+            self.memo_hits += 1
+            return cached[0]
+        result = self._probe_layers(key)
+        self._results[key] = (result, stamp)
+        return result
+
+    def _probe_layers(self, key: Tuple) -> Sequence[Context]:
+        base_entry = self._base_entry(key)
+        match_entry = self._match_entry(key)
+        if match_entry is None or not match_entry[0]:
+            return base_entry[1]
+        # Live lists are only ever *appended* in place (overlay
+        # consumption); any replacement bumps the owning entry's
+        # epoch.  So the combined snapshot stays valid while both
+        # epochs and the match count hold -- cutoff moves that
+        # filtered nothing reuse it.
+        stamp = (base_entry[4], match_entry[4], len(match_entry[0]))
+        cached = self._combined.get(key)
+        if cached is not None and cached[1] == stamp:
+            return cached[0]
+        combined = list(base_entry[1])
+        combined.extend(match_entry[0])
+        self._combined[key] = (combined, stamp)
+        return combined
+
+    def extent(self, ctx_type: str) -> Sequence[Context]:
+        return self._probe(ctx_type, ())
+
+    def extent_size(self, ctx_type: str) -> int:
+        # Same live count as ``len(extent(...))`` without materialising
+        # the combined list (this is called per position for pruning
+        # accounting, usually without a matching extent() probe);
+        # memoized per (type, cutoff) since every constraint over the
+        # type asks again within one row.
+        size = self._sizes.get(ctx_type)
+        if size is None:
+            key = (ctx_type, ())
+            size = len(self._base_entry(key)[1])
+            match_entry = self._match_entry(key)
+            if match_entry is not None:
+                size += len(match_entry[0])
+            self._sizes[ctx_type] = size
+        return size
+
+    def candidates(
+        self, ctx_type: str, restrictions: Restrictions
+    ) -> Sequence[Context]:
+        if not restrictions:
+            return self._probe(ctx_type, ())
+        return self._probe(ctx_type, tuple(restrictions))

@@ -1,0 +1,125 @@
+"""Formula normalization: canonical structural keys for sharing.
+
+Different constraints routinely quantify over the same shapes -- the
+two call-forwarding velocity rules differ only in literals, and
+application packs stamp out families of constraints from one template
+with renamed variables.  Compiling (and evaluating) each copy
+separately wastes exactly the work this module recovers: a
+*canonical key* abstracts a formula from its variable spelling, so
+structurally identical bodies collide in caches keyed on it.
+
+The canonicalization follows the normalization idea of pracmln's FOL
+grounding machinery (see SNIPPETS.md): variables are replaced by their
+*position* -- free variables by their index in the caller-supplied
+order, quantifier-bound variables by a de Bruijn-style index assigned
+in binding order -- and the tree is folded into nested tuples of plain
+hashable values.  Two formulas produce the same key iff one is the
+other with variables consistently renamed, which is precisely the
+condition under which a compiled kernel (whose variables are
+positional parameters already) can be shared between them:
+
+>>> a = pred("same_subject", "x", "y")
+>>> b = pred("same_subject", "p", "q")
+>>> canonical_key(a, ("x", "y")) == canonical_key(b, ("p", "q"))
+True
+
+:class:`~repro.constraints.incremental.IncrementalEngine` keys its
+cross-constraint kernel cache on these keys (the ``subexpr_memo_*``
+telemetry counters measure the hit rate), and the batched detection
+path (:meth:`~repro.constraints.checker.ConstraintChecker.detect_batch`)
+uses the same idea one level down: equality-guard probes are keyed on
+their ``(type, field, value)`` group -- the canonical form of the
+guard subexpression applied to a row -- so identical guards across
+different constraints resolve to one index probe per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .ast import (
+    And,
+    Existential,
+    Formula,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Universal,
+    Var,
+)
+
+__all__ = ["canonical_key"]
+
+
+def _term_key(term, scope: Dict[str, int]):
+    if isinstance(term, Var):
+        position = scope.get(term.name)
+        if position is None:
+            # A free variable outside the declared order: keep its
+            # name -- such formulas only equal themselves.
+            return ("freevar", term.name)
+        return ("var", position)
+    assert isinstance(term, Literal)
+    value = term.value
+    try:
+        hash(value)
+    except TypeError:
+        value = repr(value)
+    return ("lit", value)
+
+
+def _key(formula: Formula, scope: Dict[str, int], depth: int):
+    if isinstance(formula, Predicate):
+        return (
+            "pred",
+            formula.func,
+            tuple(_term_key(term, scope) for term in formula.args),
+        )
+    if isinstance(formula, Not):
+        return ("not", _key(formula.operand, scope, depth))
+    if isinstance(formula, And):
+        return (
+            "and",
+            _key(formula.left, scope, depth),
+            _key(formula.right, scope, depth),
+        )
+    if isinstance(formula, Or):
+        return (
+            "or",
+            _key(formula.left, scope, depth),
+            _key(formula.right, scope, depth),
+        )
+    if isinstance(formula, Implies):
+        return (
+            "implies",
+            _key(formula.left, scope, depth),
+            _key(formula.right, scope, depth),
+        )
+    if isinstance(formula, (Universal, Existential)):
+        kind = "forall" if isinstance(formula, Universal) else "exists"
+        # Bound variables number from the bottom of a separate
+        # namespace; shadowing replaces the outer binding exactly as
+        # lexical scoping would resolve it.
+        inner = dict(scope)
+        inner[formula.var] = depth
+        return (
+            kind,
+            formula.ctx_type,
+            _key(formula.body, inner, depth + 1),
+        )
+    raise TypeError(f"unsupported node {type(formula).__name__}")
+
+
+def canonical_key(formula: Formula, var_names: Sequence[str] = ()) -> Tuple:
+    """Hashable structural key of ``formula``, invariant under renaming.
+
+    ``var_names`` fixes the positions of the formula's free variables
+    (the same order a kernel's positional parameters follow); bound
+    variables are numbered by binding depth *below* the free range, so
+    keys never depend on spelling.  Everything inside the key is
+    hashable: unhashable literal values degrade to their ``repr``.
+    """
+    scope = {name: index for index, name in enumerate(var_names)}
+    return _key(formula, scope, -1_000_000)

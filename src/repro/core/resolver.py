@@ -139,28 +139,52 @@ class ResolutionService:
         self._stage_check = telemetry.stage_timer("check")
         self._stage_resolve = telemetry.stage_timer("resolve")
 
+    @property
+    def stage_check(self):
+        """The reusable ``check`` stage timer (context manager).
+
+        The batched detection planner (:mod:`repro.runtime.batch`) times
+        its ``detect_batch`` calls through this, so checking latency
+        lands in the same ``check`` stage histogram whether verdicts
+        are computed per context or per batch.
+        """
+        return self._stage_check
+
     def handle_addition(
-        self, ctx: Context, pool_contexts: Sequence[Context], now: float
+        self,
+        ctx: Context,
+        pool_contexts: Sequence[Context],
+        now: float,
+        detected: Optional[List[Inconsistency]] = None,
     ) -> AddOutcome:
         """Process a context addition change.
 
         ``pool_contexts`` are the live contexts currently in the pool
         (excluding ``ctx``); the service filters them down to the
-        strategy's checking scope before detection.
+        strategy's checking scope before detection.  ``detected``, when
+        not ``None``, is a precomputed detection verdict for exactly
+        this addition (the batched detection path of
+        :mod:`repro.runtime.batch` plans these through
+        ``detect_batch``): the detector is not consulted, but logging,
+        strategy dispatch and outcome handling are unchanged, so the
+        decision trail is byte-identical to an inline detect.
         """
         telemetry = self._telemetry
         self.log.added.append(ctx)
         relevant = self.detector.is_relevant(ctx)
         new_inconsistencies: List[Inconsistency] = []
         if relevant:
-            with self._stage_check:
-                scope = [
-                    c
-                    for c in pool_contexts
-                    if not c.is_expired(now)
-                    and self.strategy.participates_in_checking(c)
-                ]
-                new_inconsistencies = self.detector.detect(ctx, scope, now)
+            if detected is not None:
+                new_inconsistencies = detected
+            else:
+                with self._stage_check:
+                    scope = [
+                        c
+                        for c in pool_contexts
+                        if not c.is_expired(now)
+                        and self.strategy.participates_in_checking(c)
+                    ]
+                    new_inconsistencies = self.detector.detect(ctx, scope, now)
             self.log.detected.extend(new_inconsistencies)
         with self._stage_resolve:
             outcome = self.strategy.on_context_added(

@@ -158,6 +158,15 @@ class EngineConfig:
         candidate enumeration through equality-join indexes (default).
         ``False`` forces the interpreted reference path -- the
         ``repro engine run --no-kernels`` escape hatch.
+    batch_kernels:
+        Columnar batched detection (default): the runtime batch path
+        plans whole runs of arrivals through
+        ``ConstraintChecker.detect_batch`` -- vectorized batch
+        kernels, fused same-shape constraints, shared candidate-index
+        probes.  Decision-neutral by construction (the equivalence and
+        golden suites pin it); ``False`` is the ``repro engine run
+        --no-batch-kernels`` escape hatch and the A/B lever of the
+        ``detection_batch`` benchmark column.
     runtime_batch:
         Apply arrivals through the amortized runtime batch path
         (:func:`repro.runtime.batch.receive_batch`, default).
@@ -194,6 +203,7 @@ class EngineConfig:
     max_queue_batches: int = 8
     fault: FaultConfig = field(default_factory=FaultConfig)
     kernels: bool = True
+    batch_kernels: bool = True
     runtime_batch: bool = True
     ledger_path: Optional[str] = None
     ledger_fsync: bool = False

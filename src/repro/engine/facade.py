@@ -144,6 +144,7 @@ class ShardedEngine:
                 telemetry_enabled=telemetry_enabled,
                 fault_injector=self.fault_injector,
                 kernels=self.config.kernels,
+                batch_kernels=self.config.batch_kernels,
                 runtime_batch=self.config.runtime_batch,
                 async_check=self.config.async_check,
             )
@@ -263,6 +264,7 @@ class ShardedEngine:
             "mode": result.metrics.mode,
             "shards": self.config.shards,
             "kernels": self.config.kernels,
+            "batch_kernels": self.config.batch_kernels,
         }
         with LedgerWriter(
             self.config.ledger_path,
@@ -297,6 +299,7 @@ class ShardedEngine:
             use_window=self.config.use_window,
             use_delay=self.config.use_delay,
             async_check=self.config.async_check,
+            batch_kernels=self.config.batch_kernels,
         )
         if self.config.runtime_batch:
             driver.receive_all(contexts)

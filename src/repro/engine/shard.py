@@ -113,9 +113,9 @@ class ShardPipeline(ResolutionPipeline):
             wrapper_spans=False,
         )
 
-    def add(self, ctx: Context, now: float) -> AddOutcome:
+    def add(self, ctx: Context, now: float, detected=None) -> AddOutcome:
         self.arrivals += 1
-        return super().add(ctx, now)
+        return super().add(ctx, now, detected=detected)
 
     def expire_on_receive(self, ctx: Context, now: float) -> None:
         # A dead-on-arrival context was still routed here: it counts
@@ -223,6 +223,11 @@ class ShardSpec:
     #: Compiled constraint kernels + equality-join candidate indexes
     #: (the ``--no-kernels`` escape hatch turns this off).
     kernels: bool = True
+    #: Columnar batched detection: the runtime batch path plans
+    #: verdict runs through ``ConstraintChecker.detect_batch`` (the
+    #: ``--no-batch-kernels`` escape hatch turns this off; decisions
+    #: are identical either way).
+    batch_kernels: bool = True
     #: Apply batches through the amortized runtime batch path
     #: (:func:`repro.runtime.batch.receive_batch`); ``False`` falls
     #: back to per-context ``driver.receive`` (the benchmark's A/B
@@ -240,6 +245,7 @@ class ShardSpec:
             self.constraints,
             registry=self.registry_factory(),
             kernels=self.kernels,
+            batch_kernels=self.batch_kernels,
         )
         strategy = make_strategy(self.strategy, **dict(self.strategy_kwargs))
         if telemetry is None:
@@ -341,6 +347,7 @@ class ShardExecutionState:
             use_window=spec.use_window,
             use_delay=spec.use_delay,
             async_check=spec.async_check,
+            batch_kernels=spec.batch_kernels,
         )
         self.total = 0
         self.last_batch_index = -1

@@ -75,6 +75,7 @@ class EngineStream:
             use_window=engine.config.use_window,
             use_delay=engine.config.use_delay,
             async_check=engine.config.async_check,
+            batch_kernels=engine.config.batch_kernels,
         )
         self.bus = engine.bus
         self.submitted = 0
@@ -109,6 +110,7 @@ class EngineStream:
                     "mode": "stream",
                     "shards": engine.config.shards,
                     "kernels": engine.config.kernels,
+                    "batch_kernels": engine.config.batch_kernels,
                 },
                 fsync=engine.config.ledger_fsync,
                 telemetry=bundle,

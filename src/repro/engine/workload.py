@@ -103,6 +103,7 @@ def run_scalability_bench(
     workload: Optional[Tuple[List[Constraint], List[Context]]] = None,
     telemetry=None,
     kernels: bool = True,
+    batch_kernels: bool = True,
 ) -> Dict[str, object]:
     """Measure engine throughput at each shard count on one workload.
 
@@ -114,6 +115,13 @@ def run_scalability_bench(
     is redundant with it.  An optional ``telemetry`` bundle
     (:class:`repro.obs.Telemetry`) is threaded into every engine run so
     the benchmark can emit a sidecar alongside the numbers.
+
+    ``batch_kernels`` toggles columnar batched detection.  The
+    scalability thresholds were calibrated on the per-context detection
+    path, whose pool-scan cost is exactly what scope sharding removes;
+    batched detection attacks that same cost directly, so measuring the
+    sharding speedup with it enabled conflates the two optimizations --
+    pass ``False`` to isolate the shard-count variable.
     """
     constraints, contexts = workload or scalability_workload(
         n_contexts, seed=seed
@@ -122,7 +130,11 @@ def run_scalability_bench(
     signature = None
     for shards in shard_counts:
         config = EngineConfig(
-            shards=shards, mode=mode, use_window=use_window, kernels=kernels
+            shards=shards,
+            mode=mode,
+            use_window=use_window,
+            kernels=kernels,
+            batch_kernels=batch_kernels,
         )
         best: Optional[float] = None
         last = None
@@ -168,6 +180,7 @@ def run_scalability_bench(
             "use_window": use_window,
             "seed": seed,
             "kernels": kernels,
+            "batch_kernels": batch_kernels,
         },
         "contexts_per_second_by_shards": results,
         "speedup": {

@@ -9,7 +9,8 @@ pipeline clock and the pool's contents.
 
 This experiment measures the lean.  It perturbs the generated streams
 with the :mod:`repro.sensing.perturb` adapters (delay / reorder /
-duplicate, each at several intensities), plays drop-bad and OPT-R over
+duplicate / per-source clock skew, each at several intensities), plays
+drop-bad and OPT-R over
 the *same* perturbed stream, and reports drop-bad's Figure 9/10
 metrics normalized against OPT-R -- once with the runtime as-is
 (``async_check=False`` rows) and once behind the snapshot-window
@@ -29,7 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.context import Context
 from ..runtime.snapshot import AsyncCheckConfig
-from ..sensing.perturb import delay_stream, duplicate_stream, reorder_stream
+from ..sensing.perturb import (
+    delay_stream,
+    duplicate_stream,
+    reorder_stream,
+    skew_stream,
+)
 from .harness import ApplicationBundle, default_strategy_factory, run_group
 from .metrics import average_metrics, normalized_rate
 
@@ -44,11 +50,14 @@ __all__ = [
 #: hostile.  Units differ per kind: ``delay`` is the max transport
 #: delay in simulation seconds, ``reorder`` the shuffle window in
 #: stream positions, ``duplicate`` the per-context re-delivery
-#: probability.
+#: probability, ``skew`` the max per-source clock offset in simulation
+#: seconds (a skewed clock is consistently wrong, not noisy, so it
+#: stresses the freshness heuristics differently from ``delay``).
 DEFAULT_PERTURBATIONS: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
     ("delay", (1.0, 3.0, 6.0)),
     ("reorder", (2.0, 6.0, 12.0)),
     ("duplicate", (0.05, 0.15, 0.30)),
+    ("skew", (1.0, 3.0, 6.0)),
 )
 
 
@@ -80,6 +89,8 @@ def _perturb(
         return reorder_stream(contexts, rng, window=int(intensity))
     if kind == "duplicate":
         return duplicate_stream(contexts, rng, p=intensity)
+    if kind == "skew":
+        return skew_stream(contexts, rng, max_skew=intensity)
     raise ValueError(f"unknown perturbation kind {kind!r}")
 
 

@@ -76,6 +76,11 @@ class Middleware:
         released in timestamp order) before checking, so out-of-order
         and duplicated streams are tolerated.  ``None`` (the default)
         keeps the historical synchronous path byte-identical.
+    batch_kernels:
+        Let ``receive_all`` plan runs of arrivals through the
+        detector's ``detect_batch`` (columnar batched detection,
+        default).  Decision-neutral; ``False`` forces the per-context
+        detect on the batch path too.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class Middleware:
         bus: Optional[EventBus] = None,
         telemetry=None,
         async_check=None,
+        batch_kernels: bool = True,
     ) -> None:
         # Deferred import: runtime.pipeline imports middleware.bus/
         # clock/pool, so a module-level import here would cycle when
@@ -116,6 +122,7 @@ class Middleware:
             clock=self.clock,
             use_dispatch=self._dispatch_use,
             async_check=async_check,
+            batch_kernels=batch_kernels,
         )
         self.pool = self._pipeline.pool
         self.resolution = self._pipeline.resolution

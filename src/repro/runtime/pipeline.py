@@ -177,20 +177,24 @@ class ResolutionPipeline:
 
     # -- the context addition change ------------------------------------------
 
-    def add(self, ctx: Context, now: float) -> AddOutcome:
+    def add(self, ctx: Context, now: float, detected=None) -> AddOutcome:
         """Check ``ctx`` against the pool and apply the strategy.
 
         Publishes the arrival events, admits the survivor into the
         pool, evicts and unschedules the victims.  The caller schedules
         the context for use iff it survived
-        (``ctx not in outcome.discarded``).
+        (``ctx not in outcome.discarded``).  ``detected`` optionally
+        carries a precomputed detection verdict (the batched detection
+        path); events, logging and outcomes are identical either way.
         """
         with self._stage_receive:
             existing = [
                 c for c in self.pool.contents() if c.ctx_id != ctx.ctx_id
             ]
             detected_before = len(self.resolution.log.detected)
-            outcome = self.resolution.handle_addition(ctx, existing, now)
+            outcome = self.resolution.handle_addition(
+                ctx, existing, now, detected=detected
+            )
             self.bus.publish(ContextReceived(at=now, context=ctx))
             for inconsistency in self.resolution.log.detected[detected_before:]:
                 self.bus.publish(
@@ -343,7 +347,14 @@ class PipelineDriver:
         clock: Optional[SimulationClock] = None,
         use_dispatch: Optional[Callable[[Context, int], UseOutcome]] = None,
         async_check: Optional[AsyncCheckConfig] = None,
+        batch_kernels: bool = True,
     ) -> None:
+        #: Let :func:`~repro.runtime.batch.receive_batch` plan whole
+        #: runs of arrivals through the detector's ``detect_batch``
+        #: (the columnar kernel path).  Decisions are identical either
+        #: way -- this is the ``--no-batch-kernels`` escape hatch and
+        #: the A/B lever of the ``detection_batch`` benchmark.
+        self.batch_kernels = batch_kernels
         self.pipelines = list(pipelines)
         self.route = route
         self.clock = clock if clock is not None else SimulationClock()

@@ -233,3 +233,66 @@ def test_equivalence_property(seed, shards, strategy_name, window):
         use_window=use_window, use_delay=use_delay,
     )
     assert actual == expected
+
+
+class TestBatchKernelToggle:
+    """``EngineConfig.batch_kernels`` must be decision-invisible.
+
+    The batched-detection planner precomputes verdicts through
+    ``detect_batch``; turning it off forces the per-context detect on
+    the very same runs.  Decisions -- and the reference middleware's --
+    must be pointwise identical either way, including on streams with
+    finite lifespans (where the planner's per-row expiry cutoff does
+    the expiry sweep's job) and duplicated deliveries (which close the
+    planned run early).
+    """
+
+    def engine_with_toggle(self, constraints, strategy_name, stream, *,
+                           batch_kernels, use_window, use_delay):
+        engine = ShardedEngine(
+            constraints,
+            strategy=strategy_name,
+            config=EngineConfig(
+                shards=2,
+                mode="inline",
+                use_window=use_window,
+                use_delay=use_delay,
+                batch_kernels=batch_kernels,
+            ),
+        )
+        result = engine.run(stream)
+        return result.delivered_ids, result.discarded_ids
+
+    @pytest.mark.parametrize("seed", [1, 4, 9, 16, 25, 36])
+    def test_on_off_decisions_identical(self, seed):
+        rng = random.Random(seed)
+        constraints = make_constraints(rng)
+        stream = make_stream(rng, n=60)
+        strategy_name = STRATEGIES[seed % len(STRATEGIES)]
+        use_window, use_delay = (4, 2.0) if seed % 2 else (3, None)
+        on = self.engine_with_toggle(
+            constraints, strategy_name, stream,
+            batch_kernels=True, use_window=use_window, use_delay=use_delay,
+        )
+        off = self.engine_with_toggle(
+            constraints, strategy_name, stream,
+            batch_kernels=False, use_window=use_window, use_delay=use_delay,
+        )
+        assert on == off
+
+    def test_duplicate_arrivals_close_the_planned_run(self):
+        rng = random.Random(5)
+        constraints = make_constraints(rng)
+        stream = make_stream(rng, n=40)
+        # Re-deliver a prefix mid-stream: live-id duplicates must be
+        # refused identically whether or not verdicts were planned.
+        stream = stream[:20] + stream[5:10] + stream[20:]
+        on = self.engine_with_toggle(
+            constraints, "drop-latest", stream,
+            batch_kernels=True, use_window=50, use_delay=None,
+        )
+        off = self.engine_with_toggle(
+            constraints, "drop-latest", stream,
+            batch_kernels=False, use_window=50, use_delay=None,
+        )
+        assert on == off
