@@ -335,6 +335,14 @@ class CallForwardingApp:
             ),
         )
 
+    def as_pack(self):
+        """This application as a scenario pack (same constraints,
+        registry, situations and workload; adds the pack surface --
+        full-roster sweeps, inconsistency measures, ``repro packs``)."""
+        from ..scenarios.packs.legacy import call_forwarding_pack
+
+        return call_forwarding_pack()
+
 
 @dataclass
 class ForwardingController:

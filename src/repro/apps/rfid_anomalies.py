@@ -253,3 +253,11 @@ class RFIDAnomaliesApp:
                 )
             )
         return merge_streams(*sources)
+
+    def as_pack(self):
+        """This application as a scenario pack (same constraints,
+        registry, situations and workload; adds the pack surface --
+        full-roster sweeps, inconsistency measures, ``repro packs``)."""
+        from ..scenarios.packs.legacy import rfid_pack
+
+        return rfid_pack()

@@ -351,6 +351,14 @@ class SmartPhoneApp:
         contexts.sort(key=lambda ctx: (ctx.timestamp, ctx.ctx_id))
         return contexts
 
+    def as_pack(self):
+        """This application as a scenario pack (same constraints,
+        registry, situations and workload; adds the pack surface --
+        full-roster sweeps, inconsistency measures, ``repro packs``)."""
+        from ..scenarios.packs.legacy import smart_phone_pack
+
+        return smart_phone_pack()
+
 
 @dataclass
 class RingerController:

@@ -22,6 +22,11 @@ Usage (after ``pip install -e .``)::
     python -m repro ledger explain run.ledger.jsonl rfid-42
     python -m repro ledger replay run.ledger.jsonl
     python -m repro ledger diff run_a.ledger.jsonl run_b.ledger.jsonl
+    python -m repro packs list
+    python -m repro packs validate
+    python -m repro packs validate --file my_pack.toml
+    python -m repro packs run smart-home --groups 2
+    python -m repro packs run health-telemetry --strategy drop-bad --host inline
 """
 
 from __future__ import annotations
@@ -366,6 +371,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ledger_diff.add_argument("path_a")
     ledger_diff.add_argument("path_b")
+
+    packs = commands.add_parser(
+        "packs", help="list, validate or run declarative scenario packs"
+    )
+    packs_sub = packs.add_subparsers(dest="packs_command", required=True)
+    packs_sub.add_parser(
+        "list", help="registered packs, their kind and roster"
+    )
+    packs_validate = packs_sub.add_parser(
+        "validate",
+        help="validate pack specs (nonzero exit on any error)",
+    )
+    packs_validate.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="pack names to validate (default: every registered pack)",
+    )
+    packs_validate.add_argument(
+        "--file",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="also validate a TOML/JSON pack file (repeatable)",
+    )
+    packs_run = packs_sub.add_parser(
+        "run",
+        help="run one pack: a single strategy, or the full-roster sweep",
+    )
+    packs_run.add_argument("name", nargs="?", default=None)
+    packs_run.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="load the pack from a TOML/JSON file instead of the registry",
+    )
+    packs_run.add_argument(
+        "--strategy",
+        default=None,
+        choices=strategy_names(),
+        help="run just this strategy (default: sweep the pack's roster)",
+    )
+    packs_run.add_argument("--err", type=float, default=None)
+    packs_run.add_argument("--seed", type=int, default=None)
+    packs_run.add_argument(
+        "--host",
+        default="middleware",
+        choices=["middleware", "inline", "local", "process"],
+    )
+    packs_run.add_argument("--shards", type=int, default=2)
+    packs_run.add_argument(
+        "--groups",
+        type=int,
+        default=2,
+        help="streams per error rate in sweep mode (default: %(default)s)",
+    )
+    packs_run.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="override the pack's use_window (single-strategy runs only)",
+    )
+    packs_run.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="disable compiled constraint kernels",
+    )
+    packs_run.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="record the run's decision ledger to this JSONL path "
+        "(single-strategy runs only)",
+    )
 
     obs = commands.add_parser(
         "obs", help="inspect or export a telemetry sidecar"
@@ -761,6 +840,140 @@ def _cmd_ledger(args, out) -> int:
         return 2
 
 
+def _cmd_packs(args, out) -> int:
+    from .scenarios import (
+        PackRunner,
+        get_pack,
+        load_pack_file,
+        pack_names,
+        rank_strategies,
+        validate_pack,
+    )
+
+    if args.packs_command == "list":
+        print("Registered scenario packs:", file=out)
+        for name in pack_names():
+            pack = get_pack(name)
+            kind = "declarative" if pack.portable else "app-backed"
+            print(
+                f"  {name:<18} {kind:<12} "
+                f"{len(pack.strategies)} strategies  {pack.title}",
+                file=out,
+            )
+        return 0
+
+    if args.packs_command == "validate":
+        targets = []
+        for name in args.names or pack_names():
+            try:
+                targets.append(get_pack(name))
+            except KeyError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        failures = 0
+        for path in args.file:
+            try:
+                targets.append(load_pack_file(path))
+            except (OSError, ValueError, KeyError) as error:
+                print(f"FAIL {path}: {error}", file=out)
+                failures += 1
+        for pack in targets:
+            errors = validate_pack(pack)
+            if errors:
+                failures += 1
+                print(f"FAIL {pack.name}", file=out)
+                for line in errors:
+                    print(f"  - {line}", file=out)
+            else:
+                print(f"ok   {pack.name}", file=out)
+        return 1 if failures else 0
+
+    # packs run
+    try:
+        if args.file is not None:
+            pack = load_pack_file(args.file)
+        elif args.name is not None:
+            pack = get_pack(args.name)
+        else:
+            print("error: give a pack name or --file PATH", file=sys.stderr)
+            return 2
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    runner = PackRunner(pack, shards=args.shards)
+    kernels = not args.no_kernels
+    if args.strategy is not None:
+        result = runner.run(
+            args.strategy,
+            err_rate=args.err,
+            seed=args.seed,
+            host=args.host,
+            kernels=kernels,
+            use_window=args.window,
+            ledger_path=args.ledger,
+        )
+        metrics = result.metrics
+        print(
+            f"pack {result.pack} under {result.strategy} "
+            f"[{result.host}] at err={result.err_rate:g} "
+            f"seed={result.seed}:\n"
+            f"  {metrics.contexts_total} contexts -> "
+            f"{metrics.contexts_used} delivered, "
+            f"{metrics.contexts_discarded} discarded "
+            f"(survival {metrics.survival_rate:.1%}, "
+            f"precision {metrics.removal_precision:.1%}), "
+            f"{metrics.situations_activated} situation activation(s)",
+            file=out,
+        )
+        for label, measures in (
+            ("raw      ", result.measures_raw),
+            ("delivered", result.measures_delivered),
+        ):
+            print(
+                f"  measures[{label}]: universe={measures.universe} "
+                f"drastic={measures.drastic} MI={measures.mi_count} "
+                f"problematic={measures.problematic} "
+                f"repair={measures.repair}",
+                file=out,
+            )
+        print(f"  signature {result.signature()}", file=out)
+        if args.ledger:
+            print(f"  decision ledger written to {args.ledger}", file=out)
+        return 0
+    rates = (args.err,) if args.err is not None else None
+    results = runner.sweep(
+        err_rates=rates,
+        groups=args.groups,
+        host=args.host,
+        kernels=kernels,
+        base_seed=args.seed,
+    )
+    shown_rates = rates or pack.err_rates
+    print(
+        f"Full-roster sweep -- {pack.name} [{args.host}]: "
+        f"{len(results)} runs ({args.groups} group(s) x rates "
+        f"{'/'.join(f'{r:g}' for r in shown_rates)})",
+        file=out,
+    )
+    print(
+        f"  {'strategy':<16} {'runs':>4} {'resid.prob':>10} "
+        f"{'resid.MI':>9} {'resid.repair':>12} {'survival':>9} "
+        f"{'precision':>10}",
+        file=out,
+    )
+    for row in rank_strategies(results):
+        print(
+            f"  {row['strategy']:<16} {row['runs']:>4} "
+            f"{row['residual_problematic_ratio']:>10.4f} "
+            f"{row['residual_mi']:>9.2f} "
+            f"{row['residual_repair']:>12.2f} "
+            f"{row['survival_rate']:>9.1%} "
+            f"{row['removal_precision']:>10.1%}",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_obs(args, out) -> int:
     from .obs import (
         json_text,
@@ -823,6 +1036,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_loadgen(args, out)
     if args.command == "ledger":
         return _cmd_ledger(args, out)
+    if args.command == "packs":
+        return _cmd_packs(args, out)
     if args.command == "obs":
         return _cmd_obs(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

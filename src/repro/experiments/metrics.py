@@ -13,12 +13,42 @@ Both are normalized against the OPT-R oracle to give the paper's
 metrics (survival rate, removal precision) and some extended
 diagnostics (spurious deliveries/activations caused by corrupted
 contexts that slipped through).
+
+Beyond the paper's two rates, the module implements the
+database-repair *inconsistency measures* of Livshits et al.
+(PAPERS.md) as first-class per-run metrics:
+
+* **I_d (drastic)** -- 1 iff any constraint is violated at all;
+* **I_MI** -- the number of distinct minimal inconsistent subsets
+  (here: deduplicated violating bindings, one per
+  ``(constraint, context set)`` pair);
+* **I_P (problematic)** -- the number of contexts involved in at
+  least one violation;
+* **I_R (repair)** -- the minimum number of contexts that must be
+  deleted to restore consistency (a minimum hitting set over the
+  violation sets; exact for small instances, a greedy upper bound
+  past :data:`EXACT_REPAIR_LIMIT` distinct sets).
+
+Applied to the *delivered* stream they quantify the residual
+inconsistency a strategy let through to applications -- a principled
+ranking signal that complements discard precision/recall.  The
+scenario-pack runner (:mod:`repro.scenarios.runner`) emits them per
+run through the telemetry registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 __all__ = [
     "GroupMetrics",
@@ -26,6 +56,11 @@ __all__ = [
     "SeriesPoint",
     "average_metrics",
     "sample_stdev",
+    "InconsistencyMeasures",
+    "measure_inconsistencies",
+    "measure_stream",
+    "minimum_repair_size",
+    "EXACT_REPAIR_LIMIT",
 ]
 
 
@@ -132,6 +167,159 @@ def normalized_rate(value: float, baseline: float) -> float:
     if baseline <= 0:
         return 100.0 if value <= 0 else 0.0
     return 100.0 * value / baseline
+
+
+#: Above this many distinct violation sets the exact branch-and-bound
+#: minimum-hitting-set search yields to the greedy upper bound.
+EXACT_REPAIR_LIMIT = 24
+
+
+def _exact_hitting_set(sets: List[FrozenSet[str]], limit: int) -> int:
+    """Smallest hitting set size if it is ``<= limit``, else ``limit + 1``.
+
+    Branch and bound on the smallest unhit set: every hitting set must
+    contain one of its elements.
+    """
+    if not sets:
+        return 0
+    if limit <= 0:
+        return limit + 1
+    pivot = min(sets, key=len)
+    best = limit + 1
+    for element in sorted(pivot):
+        remaining = [s for s in sets if element not in s]
+        candidate = 1 + _exact_hitting_set(remaining, best - 2)
+        if candidate < best:
+            best = candidate
+    return best
+
+
+def _greedy_hitting_set(sets: List[FrozenSet[str]]) -> int:
+    """Greedy max-degree upper bound on the minimum hitting set size."""
+    remaining = list(sets)
+    size = 0
+    while remaining:
+        degree: Dict[str, int] = {}
+        for s in remaining:
+            for element in s:
+                degree[element] = degree.get(element, 0) + 1
+        # Deterministic tie-break: highest degree, then lexicographic.
+        chosen = min(degree, key=lambda e: (-degree[e], e))
+        remaining = [s for s in remaining if chosen not in s]
+        size += 1
+    return size
+
+
+def minimum_repair_size(
+    violation_sets: Iterable[AbstractSet[str]],
+    *,
+    exact_limit: int = EXACT_REPAIR_LIMIT,
+) -> int:
+    """Livshits et al.'s I_R: fewest deletions restoring consistency.
+
+    Each violation set is the set of context ids involved in one
+    violating binding; a repair must delete at least one member of
+    every set (a hitting set).  Exact (branch and bound) while the
+    number of distinct sets stays at or below ``exact_limit``, else the
+    deterministic greedy upper bound.
+    """
+    distinct = sorted(
+        {frozenset(s) for s in violation_sets if s}, key=sorted
+    )
+    if not distinct:
+        return 0
+    greedy = _greedy_hitting_set(distinct)
+    if len(distinct) > exact_limit:
+        return greedy
+    return _exact_hitting_set(distinct, greedy)
+
+
+@dataclass(frozen=True)
+class InconsistencyMeasures:
+    """Livshits-style inconsistency measures of one context set.
+
+    ``universe`` is the number of contexts the violations were checked
+    over, giving the ``*_ratio`` normalizations; a universe of zero
+    yields all-zero measures.
+    """
+
+    universe: int
+    drastic: int
+    mi_count: int
+    problematic: int
+    repair: int
+    per_constraint: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def problematic_ratio(self) -> float:
+        """I_P normalized by the universe size."""
+        return self.problematic / self.universe if self.universe else 0.0
+
+    @property
+    def repair_ratio(self) -> float:
+        """I_R normalized by the universe size."""
+        return self.repair / self.universe if self.universe else 0.0
+
+    def as_record(self) -> Dict[str, object]:
+        """Plain-JSON row for reports, benchmarks and the ledger."""
+        return {
+            "universe": self.universe,
+            "drastic": self.drastic,
+            "mi_count": self.mi_count,
+            "problematic": self.problematic,
+            "repair": self.repair,
+            "problematic_ratio": self.problematic_ratio,
+            "repair_ratio": self.repair_ratio,
+            "per_constraint": dict(self.per_constraint),
+        }
+
+
+def measure_inconsistencies(
+    inconsistencies: Sequence[object], universe: int
+) -> InconsistencyMeasures:
+    """Compute the measures from detected inconsistency objects.
+
+    ``inconsistencies`` are
+    :class:`~repro.core.inconsistency.Inconsistency`-shaped objects
+    (``.contexts`` frozenset, ``.constraint`` name).  Identical
+    bindings reported more than once collapse into one minimal
+    inconsistent subset.
+    """
+    seen = set()
+    sets: List[FrozenSet[str]] = []
+    per_constraint: Dict[str, int] = {}
+    involved: set = set()
+    for inconsistency in inconsistencies:
+        ids = frozenset(c.ctx_id for c in inconsistency.contexts)
+        key = (inconsistency.constraint, ids)
+        if key in seen:
+            continue
+        seen.add(key)
+        sets.append(ids)
+        involved.update(ids)
+        per_constraint[inconsistency.constraint] = (
+            per_constraint.get(inconsistency.constraint, 0) + 1
+        )
+    return InconsistencyMeasures(
+        universe=universe,
+        drastic=1 if sets else 0,
+        mi_count=len(sets),
+        problematic=len(involved),
+        repair=minimum_repair_size(sets),
+        per_constraint=per_constraint,
+    )
+
+
+def measure_stream(checker, contexts: Sequence[object]) -> InconsistencyMeasures:
+    """Measure a context set as a static database (Livshits et al.).
+
+    ``checker`` is a :class:`~repro.constraints.checker.ConstraintChecker`
+    (or anything with ``check_all``); the set is checked at the stream's
+    last timestamp, the instant the run ended.
+    """
+    now = max((c.timestamp for c in contexts), default=0.0)
+    violations = checker.check_all(list(contexts), now=now)
+    return measure_inconsistencies(violations, universe=len(contexts))
 
 
 @dataclass(frozen=True)

@@ -72,11 +72,27 @@ class AsyncCheckConfig:
     dedup_window:
         How many recent ctx_ids the duplicate filter remembers (exact
         dedup within the window, O(dedup_window) memory).
+    per_source:
+        Track the maximum observed timestamp *per context source* and
+        take the watermark from the slowest **active** source instead
+        of the global maximum.  A consistently slow source (transport
+        delay, clock skew) then holds the window open so its arrivals
+        are reordered into place rather than dropped stale -- the
+        global max-based watermark races ahead on the fastest source
+        and penalizes stragglers.
+    source_idle_arrivals:
+        Straggler bound for ``per_source`` mode: a source that stays
+        silent while this many arrivals are accepted from other
+        sources is considered *idle* and evicted from the watermark
+        minimum, so one stalled source cannot stall the whole window
+        forever.  It is reinstated by its next accepted arrival.
     """
 
     max_lag: float = 5.0
     max_buffer: int = 1024
     dedup_window: int = 4096
+    per_source: bool = False
+    source_idle_arrivals: int = 64
 
     def __post_init__(self) -> None:
         if self.max_lag < 0:
@@ -89,6 +105,11 @@ class AsyncCheckConfig:
             raise ValueError(
                 f"dedup_window must be >= 1, got {self.dedup_window}"
             )
+        if self.source_idle_arrivals < 1:
+            raise ValueError(
+                f"source_idle_arrivals must be >= 1, got "
+                f"{self.source_idle_arrivals}"
+            )
 
     def to_document(self) -> dict:
         """Plain-JSON form for the ledger's ruleset header."""
@@ -96,6 +117,8 @@ class AsyncCheckConfig:
             "max_lag": self.max_lag,
             "max_buffer": self.max_buffer,
             "dedup_window": self.dedup_window,
+            "per_source": self.per_source,
+            "source_idle_arrivals": self.source_idle_arrivals,
         }
 
     @classmethod
@@ -105,6 +128,10 @@ class AsyncCheckConfig:
             max_lag=float(doc.get("max_lag", 5.0)),  # type: ignore[arg-type]
             max_buffer=int(doc.get("max_buffer", 1024)),  # type: ignore[arg-type]
             dedup_window=int(doc.get("dedup_window", 4096)),  # type: ignore[arg-type]
+            per_source=bool(doc.get("per_source", False)),
+            source_idle_arrivals=int(
+                doc.get("source_idle_arrivals", 64)  # type: ignore[arg-type]
+            ),
         )
 
 
@@ -132,10 +159,14 @@ class SnapshotIngress:
         "_max_ts",
         "_cursor",
         "_seen",
+        "_arrivals",
+        "_source_max",
+        "_source_seen_at",
         "released",
         "stale",
         "duplicates",
         "forced",
+        "evicted_sources",
     )
 
     def __init__(self, config: AsyncCheckConfig) -> None:
@@ -145,6 +176,12 @@ class SnapshotIngress:
         self._max_ts = float("-inf")
         self._cursor = float("-inf")
         self._seen = BoundedIdSet(maxlen=config.dedup_window)
+        #: Accepted arrivals (per-source idle detection clock).
+        self._arrivals = 0
+        #: source name -> largest accepted timestamp (per_source mode).
+        self._source_max: Dict[str, float] = {}
+        #: source name -> arrival count at its last accepted arrival.
+        self._source_seen_at: Dict[str, int] = {}
         #: Contexts released to the pipeline (watermark + forced + flush).
         self.released = 0
         #: Arrivals dropped because their timestamp predates the cursor.
@@ -155,6 +192,9 @@ class SnapshotIngress:
         #: watermark; a high rate means ``max_buffer`` is undersized
         #: for the stream's disorder).
         self.forced = 0
+        #: Times a stalled source was dropped from the per-source
+        #: watermark minimum (``source_idle_arrivals`` exceeded).
+        self.evicted_sources = 0
 
     def __len__(self) -> int:
         """Buffered (offered but not yet released) contexts."""
@@ -162,8 +202,20 @@ class SnapshotIngress:
 
     @property
     def watermark(self) -> float:
-        """Largest timestamp currently releasable (``-inf`` initially)."""
-        return self._max_ts - self.config.max_lag
+        """Largest timestamp currently releasable (``-inf`` initially).
+
+        Global mode: ``max observed - max_lag``.  Per-source mode: the
+        minimum over the *tracked* sources' observed maxima, minus the
+        lag -- at most the global watermark, holding the window open
+        for the slowest live source.  Stalled sources are evicted from
+        the tracking map on arrival (see :meth:`offer`), and removing
+        a term from a minimum can only raise it, so one straggler
+        stops stalling the watermark as soon as it is evicted.
+        """
+        base = self._max_ts - self.config.max_lag
+        if not self.config.per_source or not self._source_max:
+            return base
+        return min(self._source_max.values()) - self.config.max_lag
 
     @property
     def cursor(self) -> float:
@@ -182,12 +234,32 @@ class SnapshotIngress:
         heapq.heappush(self._heap, (ctx.timestamp, self._seq, ctx))
         if ctx.timestamp > self._max_ts:
             self._max_ts = ctx.timestamp
+        if self.config.per_source:
+            self._track_source(ctx)
         return IngressOutcome(released=tuple(self._release()))
+
+    def _track_source(self, ctx: Context) -> None:
+        """Per-source bookkeeping: maxima, liveness, straggler eviction."""
+        self._arrivals += 1
+        source = ctx.source
+        if ctx.timestamp > self._source_max.get(source, float("-inf")):
+            self._source_max[source] = ctx.timestamp
+        self._source_seen_at[source] = self._arrivals
+        bound = self.config.source_idle_arrivals
+        idle = [
+            name
+            for name, seen_at in self._source_seen_at.items()
+            if self._arrivals - seen_at > bound
+        ]
+        for name in idle:
+            del self._source_max[name]
+            del self._source_seen_at[name]
+            self.evicted_sources += 1
 
     def _release(self) -> List[Context]:
         heap = self._heap
         out: List[Context] = []
-        watermark = self._max_ts - self.config.max_lag
+        watermark = self.watermark
         while heap and heap[0][0] <= watermark:
             out.append(heapq.heappop(heap)[2])
         while len(heap) > self.config.max_buffer:
@@ -219,6 +291,8 @@ class SnapshotIngress:
             "stale": float(self.stale),
             "duplicates": float(self.duplicates),
             "forced": float(self.forced),
+            "evicted_sources": float(self.evicted_sources),
+            "tracked_sources": float(len(self._source_max)),
             "watermark": self.watermark,
             "cursor": self._cursor,
         }
@@ -237,6 +311,10 @@ class SnapshotIngress:
             "stale": self.stale,
             "duplicates": self.duplicates,
             "forced": self.forced,
+            "arrivals": self._arrivals,
+            "source_max": dict(self._source_max),
+            "source_seen_at": dict(self._source_seen_at),
+            "evicted_sources": self.evicted_sources,
         }
 
     def restore(self, state: Mapping[str, object]) -> None:
@@ -253,3 +331,9 @@ class SnapshotIngress:
         self.stale = state["stale"]  # type: ignore[assignment]
         self.duplicates = state["duplicates"]  # type: ignore[assignment]
         self.forced = state["forced"]  # type: ignore[assignment]
+        # Per-source keys postdate the first checkpoint format; default
+        # to empty so old checkpoints keep restoring.
+        self._arrivals = state.get("arrivals", 0)  # type: ignore[assignment]
+        self._source_max = dict(state.get("source_max", {}))  # type: ignore[arg-type]
+        self._source_seen_at = dict(state.get("source_seen_at", {}))  # type: ignore[arg-type]
+        self.evicted_sources = state.get("evicted_sources", 0)  # type: ignore[assignment]

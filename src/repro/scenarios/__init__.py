@@ -1,0 +1,74 @@
+"""Declarative scenario packs: data-driven workloads for the runtime.
+
+A :class:`~repro.scenarios.spec.ScenarioPack` bundles everything one
+context-aware application needs -- entities, sensing channels, phased
+ground-truth behaviour, consistency constraints, situations, a strategy
+roster and an expected-metrics envelope -- as *data* instead of a
+bespoke module.  Packs are registered from Python
+(:func:`~repro.scenarios.registry.register_pack`) or loaded from
+TOML/JSON documents (:mod:`~repro.scenarios.serialize`), and a
+:class:`~repro.scenarios.runner.PackRunner` drives any pack through the
+Middleware host and every engine mode of the canonical runtime,
+reporting the paper's Figure 9/10 counters plus Livshits-style
+inconsistency measures per run.
+
+The three legacy applications (:mod:`repro.apps`) are exposed as packs
+(:mod:`repro.scenarios.packs.legacy`) with byte-identical decision
+signatures against the recorded runtime goldens; new workloads ship as
+TOML documents under ``repro/scenarios/packs/data/``.
+"""
+
+from .predicates import PREDICATE_KINDS, PredicateSpec
+from .registry import (
+    get_pack,
+    load_pack_file,
+    pack_names,
+    register_pack,
+    unregister_pack,
+)
+from .runner import PackRunner, PackRunResult, rank_strategies
+from .serialize import (
+    dumps_json,
+    dumps_toml,
+    loads_json,
+    loads_toml,
+    pack_from_document,
+    pack_to_document,
+)
+from .spec import (
+    FULL_ROSTER,
+    ConstraintSpec,
+    MetricsEnvelope,
+    ScenarioPack,
+    SituationSpec,
+    validate_pack,
+)
+from .workload import ChannelSpec, PhaseSpec, WorkloadSpec
+
+__all__ = [
+    "PREDICATE_KINDS",
+    "PredicateSpec",
+    "ConstraintSpec",
+    "SituationSpec",
+    "MetricsEnvelope",
+    "ScenarioPack",
+    "FULL_ROSTER",
+    "validate_pack",
+    "ChannelSpec",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "pack_to_document",
+    "pack_from_document",
+    "dumps_json",
+    "loads_json",
+    "dumps_toml",
+    "loads_toml",
+    "register_pack",
+    "unregister_pack",
+    "get_pack",
+    "pack_names",
+    "load_pack_file",
+    "PackRunner",
+    "PackRunResult",
+    "rank_strategies",
+]

@@ -1,0 +1,29 @@
+"""Builtin scenario packs.
+
+Importing this module registers every shipped pack: the three legacy
+applications (Python-registered, keeping their hand-written predicate
+closures so the golden decision signatures are preserved byte for
+byte) and the declarative TOML packs under ``data/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..registry import load_pack_file, register_pack
+from .legacy import call_forwarding_pack, rfid_pack, smart_phone_pack
+
+__all__ = ["DATA_DIR", "builtin_pack_files"]
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+
+def builtin_pack_files() -> list:
+    """The shipped declarative pack documents, sorted."""
+    return sorted(DATA_DIR.glob("*.toml"))
+
+
+for _factory in (call_forwarding_pack, rfid_pack, smart_phone_pack):
+    register_pack(_factory(), replace=True)
+for _path in builtin_pack_files():
+    register_pack(load_pack_file(_path), replace=True)

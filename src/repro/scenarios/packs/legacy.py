@@ -1,0 +1,92 @@
+"""The legacy applications exposed as scenario packs.
+
+These packs wrap the hand-written application modules
+(:mod:`repro.apps`) through the spec's escape hatches instead of
+re-expressing them declaratively: the apps' predicate closures (floor
+plans, reader graphs) and workload generators consume RNG state in a
+specific order, and the runtime golden suite pins their decisions byte
+for byte.  The pack layer therefore delegates every build step to the
+original app object -- same constraints, same registry, same streams,
+same decisions -- while gaining the pack surface (full-roster sweeps,
+inconsistency measures, the ``repro packs`` CLI).
+
+The default ``workload_kwargs`` are the golden suite's small stream
+sizes (``tests/runtime/_streams.APP_CASES``); pass explicit kwargs for
+paper-scale streams.
+"""
+
+from __future__ import annotations
+
+from ...apps import CallForwardingApp, RFIDAnomaliesApp, SmartPhoneApp
+from ..spec import MetricsEnvelope, ScenarioPack
+
+__all__ = ["call_forwarding_pack", "rfid_pack", "smart_phone_pack"]
+
+
+def call_forwarding_pack() -> ScenarioPack:
+    """Paper Section 4.1: Active Badge call forwarding."""
+    app = CallForwardingApp()
+    return ScenarioPack(
+        name="call-forwarding",
+        title="Call Forwarding (Active Badge)",
+        description=(
+            "Badge sightings plus tracked coordinates; calls follow the "
+            "callee through the office floor."
+        ),
+        use_window=10,
+        default_seed=5,
+        envelope=MetricsEnvelope(
+            min_contexts=50, min_raw_mi=1, reference_err_rate=0.3
+        ),
+        workload_kwargs={"duration": 120.0},
+        registry_factory=app.build_registry,
+        constraints_factory=app.build_constraints,
+        situations_factory=app.build_situations,
+        workload_factory=app.generate_workload,
+    )
+
+
+def rfid_pack() -> ScenarioPack:
+    """Paper Section 4.2: RFID anomaly detection in an item flow."""
+    app = RFIDAnomaliesApp()
+    return ScenarioPack(
+        name="rfid",
+        title="RFID Anomalies",
+        description=(
+            "Tagged items flow through reader zones; anomalies are "
+            "spurious reads off the feasible path."
+        ),
+        use_window=20,
+        default_seed=5,
+        envelope=MetricsEnvelope(
+            min_contexts=50, min_raw_mi=1, reference_err_rate=0.3
+        ),
+        workload_kwargs={"items": 6},
+        registry_factory=app.build_registry,
+        constraints_factory=app.build_constraints,
+        situations_factory=app.build_situations,
+        workload_factory=app.generate_workload,
+    )
+
+
+def smart_phone_pack() -> ScenarioPack:
+    """The paper's motivating smart-phone example (Section 1)."""
+    app = SmartPhoneApp()
+    return ScenarioPack(
+        name="smart-phone",
+        title="Smart Phone Profile Switching",
+        description=(
+            "Calendar, location and motion feeds drive the owner's "
+            "ringer profile."
+        ),
+        use_window=8,
+        default_seed=5,
+        envelope=MetricsEnvelope(
+            min_contexts=50, min_raw_mi=1, reference_err_rate=0.3
+        ),
+        workload_kwargs={"days": 1},
+        registry_factory=app.build_registry,
+        constraints_factory=app.build_constraints,
+        situations_factory=app.build_situations,
+        workload_factory=app.generate_workload,
+    )

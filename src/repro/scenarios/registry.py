@@ -1,0 +1,82 @@
+"""The pack registry: named packs from Python or document files.
+
+Builtin packs (the three legacy applications plus the shipped TOML
+documents under ``packs/data/``) register lazily on first lookup, so
+importing :mod:`repro.scenarios` stays cheap and the apps layer is only
+pulled in when a pack is actually requested.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import pathlib
+import tomllib
+from typing import Dict, List, Union
+
+from .serialize import pack_from_document
+from .spec import ScenarioPack
+
+__all__ = [
+    "register_pack",
+    "unregister_pack",
+    "get_pack",
+    "pack_names",
+    "load_pack_file",
+]
+
+_PACKS: Dict[str, ScenarioPack] = {}
+_BUILTINS_LOADED = False
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True  # set first: packs/__init__ calls register_pack
+    importlib.import_module("repro.scenarios.packs")
+
+
+def register_pack(pack: ScenarioPack, *, replace: bool = False) -> ScenarioPack:
+    """Add a pack to the registry (``replace`` to overwrite)."""
+    if not replace and pack.name in _PACKS:
+        raise ValueError(f"pack {pack.name!r} is already registered")
+    _PACKS[pack.name] = pack
+    return pack
+
+
+def unregister_pack(name: str) -> None:
+    """Drop a registered pack (test isolation helper)."""
+    _PACKS.pop(name, None)
+
+
+def pack_names() -> List[str]:
+    """Sorted names of every registered pack (builtins included)."""
+    _load_builtins()
+    return sorted(_PACKS)
+
+
+def get_pack(name: str) -> ScenarioPack:
+    """Look a pack up by name."""
+    _load_builtins()
+    try:
+        return _PACKS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PACKS)) or "(none)"
+        raise KeyError(
+            f"unknown scenario pack {name!r}; registered: {known}"
+        ) from None
+
+
+def load_pack_file(path: Union[str, pathlib.Path]) -> ScenarioPack:
+    """Load a pack document from a ``.toml`` or ``.json`` file."""
+    path = pathlib.Path(path)
+    if path.suffix == ".toml":
+        doc = tomllib.loads(path.read_text(encoding="utf-8"))
+    elif path.suffix == ".json":
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        raise ValueError(
+            f"pack file {path} must end in .toml or .json"
+        )
+    return pack_from_document(doc)

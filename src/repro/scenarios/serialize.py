@@ -1,0 +1,327 @@
+"""TOML/JSON document form of portable scenario packs.
+
+The document schema (version 1) is deliberately small and fully
+canonical: ``pack_to_document`` always emits every settings key, so
+``pack_from_document(pack_to_document(p)) == p`` holds exactly and the
+hypothesis round-trip suite can assert equality rather than
+approximation.
+
+The standard library can *parse* TOML (:mod:`tomllib`) but not write
+it, so this module carries a minimal emitter covering exactly the
+document schema: tables, arrays of tables, nested sub-tables, arrays,
+strings (raw UTF-8 with TOML-mandated escapes), bools, ints and finite
+floats.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from typing import Any, Dict, List, Mapping, Optional
+
+from .predicates import PredicateSpec, thaw_params
+from .spec import ConstraintSpec, MetricsEnvelope, ScenarioPack, SituationSpec
+from .workload import ChannelSpec, PhaseSpec, WorkloadSpec
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "pack_to_document",
+    "pack_from_document",
+    "dumps_json",
+    "loads_json",
+    "dumps_toml",
+    "loads_toml",
+]
+
+SCHEMA_VERSION = 1
+
+
+# -- pack <-> document --------------------------------------------------------
+
+
+def pack_to_document(pack: ScenarioPack) -> Dict[str, Any]:
+    """The canonical plain-data form of a portable pack."""
+    if not pack.portable:
+        raise ValueError(
+            f"pack {pack.name!r} uses Python escape hatches and cannot "
+            f"be serialized; register it from code instead"
+        )
+    assert pack.workload is not None
+    envelope: Dict[str, Any] = {
+        "min_contexts": pack.envelope.min_contexts,
+        "min_raw_mi": pack.envelope.min_raw_mi,
+        "max_residual_ratio": float(pack.envelope.max_residual_ratio),
+        "reference_err_rate": float(pack.envelope.reference_err_rate),
+    }
+    if pack.envelope.max_contexts is not None:
+        envelope["max_contexts"] = pack.envelope.max_contexts
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": pack.name,
+        "title": pack.title,
+        "description": pack.description,
+        "settings": {
+            "strategies": list(pack.strategies),
+            "err_rates": [float(e) for e in pack.err_rates],
+            "use_window": pack.use_window,
+            "default_seed": pack.default_seed,
+            "workload_kwargs": thaw_params(pack.workload_kwargs),
+        },
+        "envelope": envelope,
+        "predicates": [
+            {
+                "name": p.name,
+                "kind": p.kind,
+                "description": p.description,
+                "params": thaw_params(p.params),
+            }
+            for p in pack.predicates
+        ],
+        "constraints": [
+            {
+                "name": c.name,
+                "formula": c.formula,
+                "description": c.description,
+            }
+            for c in pack.constraint_specs
+        ],
+        "situations": [
+            {
+                "name": s.name,
+                "kind": s.kind,
+                "description": s.description,
+                "params": thaw_params(s.params),
+            }
+            for s in pack.situation_specs
+        ],
+        "workload": _workload_to_document(pack.workload),
+    }
+
+
+def _workload_to_document(workload: WorkloadSpec) -> Dict[str, Any]:
+    return {
+        "id_prefix": workload.id_prefix,
+        "subject_stagger": float(workload.subject_stagger),
+        "subjects": list(workload.subjects),
+        "channels": [
+            {
+                "name": c.name,
+                "kind": c.kind,
+                "period": float(c.period),
+                "offset": float(c.offset),
+                "lifespan": float(c.lifespan),
+                "corruptible": c.corruptible,
+                "states": list(c.states),
+                "jitter": float(c.jitter),
+                "corrupt_shift": [float(v) for v in c.corrupt_shift],
+            }
+            for c in workload.channels
+        ],
+        "phases": [
+            {
+                "name": p.name,
+                "min_duration": float(p.min_duration),
+                "max_duration": float(p.max_duration),
+                "values": thaw_params(p.values),
+            }
+            for p in workload.phases
+        ],
+    }
+
+
+def pack_from_document(doc: Mapping[str, Any]) -> ScenarioPack:
+    """Rebuild a portable pack from its document form.
+
+    Numeric fields are coerced (TOML distinguishes int/float; JSON
+    hand-edits may not), so a document round-trips regardless of which
+    syntax carried it.
+    """
+    schema = int(doc.get("schema", 0))
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported pack schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    settings = dict(doc.get("settings", {}))
+    env_doc = dict(doc.get("envelope", {}))
+    max_contexts: Optional[int] = (
+        int(env_doc["max_contexts"]) if "max_contexts" in env_doc else None
+    )
+    workload_doc = doc.get("workload")
+    if not isinstance(workload_doc, Mapping):
+        raise ValueError("pack document has no [workload] table")
+    return ScenarioPack(
+        name=str(doc.get("name", "")),
+        title=str(doc.get("title", "")),
+        description=str(doc.get("description", "")),
+        predicates=tuple(
+            PredicateSpec(
+                name=str(p["name"]),
+                kind=str(p["kind"]),
+                params=dict(p.get("params", {})),
+                description=str(p.get("description", "")),
+            )
+            for p in doc.get("predicates", [])
+        ),
+        constraint_specs=tuple(
+            ConstraintSpec(
+                name=str(c["name"]),
+                formula=str(c["formula"]),
+                description=str(c.get("description", "")),
+            )
+            for c in doc.get("constraints", [])
+        ),
+        situation_specs=tuple(
+            SituationSpec(
+                name=str(s["name"]),
+                kind=str(s["kind"]),
+                params=dict(s.get("params", {})),
+                description=str(s.get("description", "")),
+            )
+            for s in doc.get("situations", [])
+        ),
+        workload=_workload_from_document(workload_doc),
+        strategies=tuple(str(s) for s in settings.get("strategies", [])),
+        err_rates=tuple(float(e) for e in settings.get("err_rates", [])),
+        use_window=int(settings.get("use_window", 10)),
+        default_seed=int(settings.get("default_seed", 7)),
+        envelope=MetricsEnvelope(
+            min_contexts=int(env_doc.get("min_contexts", 1)),
+            max_contexts=max_contexts,
+            min_raw_mi=int(env_doc.get("min_raw_mi", 0)),
+            max_residual_ratio=float(env_doc.get("max_residual_ratio", 1.0)),
+            reference_err_rate=float(
+                env_doc.get("reference_err_rate", 0.2)
+            ),
+        ),
+        workload_kwargs=dict(settings.get("workload_kwargs", {})),
+    )
+
+
+def _workload_from_document(doc: Mapping[str, Any]) -> WorkloadSpec:
+    return WorkloadSpec(
+        subjects=tuple(str(s) for s in doc.get("subjects", [])),
+        channels=tuple(
+            ChannelSpec(
+                name=str(c["name"]),
+                kind=str(c.get("kind", "state")),
+                period=float(c.get("period", 2.0)),
+                offset=float(c.get("offset", 0.0)),
+                lifespan=float(c.get("lifespan", 60.0)),
+                corruptible=bool(c.get("corruptible", True)),
+                states=tuple(str(s) for s in c.get("states", [])),
+                jitter=float(c.get("jitter", 0.0)),
+                corrupt_shift=tuple(
+                    float(v) for v in c.get("corrupt_shift", (0.0, 0.0))
+                ),
+            )
+            for c in doc.get("channels", [])
+        ),
+        phases=tuple(
+            PhaseSpec(
+                name=str(p["name"]),
+                min_duration=float(p["min_duration"]),
+                max_duration=float(p["max_duration"]),
+                values=dict(p.get("values", {})),
+            )
+            for p in doc.get("phases", [])
+        ),
+        id_prefix=str(doc.get("id_prefix", "pk")),
+        subject_stagger=float(doc.get("subject_stagger", 0.0)),
+    )
+
+
+# -- JSON ---------------------------------------------------------------------
+
+
+def dumps_json(pack: ScenarioPack) -> str:
+    return json.dumps(pack_to_document(pack), indent=2, sort_keys=True) + "\n"
+
+
+def loads_json(text: str) -> ScenarioPack:
+    return pack_from_document(json.loads(text))
+
+
+# -- TOML ---------------------------------------------------------------------
+
+
+def loads_toml(text: str) -> ScenarioPack:
+    return pack_from_document(tomllib.loads(text))
+
+
+def dumps_toml(pack: ScenarioPack) -> str:
+    """Emit the pack document as TOML (see the module docstring)."""
+    lines: List[str] = []
+    _emit_table("", pack_to_document(pack), lines)
+    return "\n".join(lines) + "\n"
+
+
+def _is_table(value: Any) -> bool:
+    return isinstance(value, Mapping)
+
+
+def _is_table_array(value: Any) -> bool:
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) > 0
+        and all(isinstance(item, Mapping) for item in value)
+    )
+
+
+def _format_string(value: str) -> str:
+    # json.dumps escapes the quote, the backslash and controls < 0x20
+    # (all as valid TOML escapes); ensure_ascii=False keeps non-ASCII
+    # raw -- TOML \uXXXX escapes must be Unicode *scalar* values, and
+    # ensure_ascii would emit astral characters as surrogate pairs.
+    # DEL is the one control character json leaves literal.
+    return json.dumps(value, ensure_ascii=False).replace("\x7f", "\\u007f")
+
+
+def _format_key(key: str) -> str:
+    if key and all(c.isalnum() or c in "_-" for c in key):
+        return key
+    return _format_string(key)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite float {value!r} not supported")
+        return repr(value)  # repr always carries '.' or an exponent
+    if isinstance(value, str):
+        return _format_string(value)
+    if isinstance(value, Mapping):
+        inner = ", ".join(
+            f"{_format_key(str(k))} = {_format_value(v)}"
+            for k, v in value.items()
+        )
+        return "{ " + inner + " }" if inner else "{}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(v) for v in value) + "]"
+    raise TypeError(f"cannot emit {type(value).__name__} as TOML")
+
+
+def _emit_table(path: str, table: Mapping[str, Any], lines: List[str]) -> None:
+    plain = {
+        k: v
+        for k, v in table.items()
+        if not _is_table(v) and not _is_table_array(v)
+    }
+    for key, value in plain.items():
+        lines.append(f"{_format_key(str(key))} = {_format_value(value)}")
+    for key, value in table.items():
+        if _is_table(value):
+            child = f"{path}.{_format_key(str(key))}" if path else _format_key(str(key))
+            lines.append("")
+            lines.append(f"[{child}]")
+            _emit_table(child, value, lines)
+    for key, value in table.items():
+        if _is_table_array(value):
+            child = f"{path}.{_format_key(str(key))}" if path else _format_key(str(key))
+            for item in value:
+                lines.append("")
+                lines.append(f"[[{child}]]")
+                _emit_table(child, item, lines)

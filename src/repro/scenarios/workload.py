@@ -1,0 +1,230 @@
+"""Phased declarative workload generator.
+
+A pack's workload is a plain-data script: *subjects* move through a
+sequence of *phases* (ground-truth behaviour windows with randomized
+durations), and *channels* (one per context type) sample each subject's
+current phase at a fixed period, injecting errors at the controlled
+rate exactly like the paper's "client thread with a controlled error
+rate" (Section 4.1).  The generator is fully deterministic from
+``(err_rate, seed)``: one master RNG dealt per subject, fixed iteration
+order, and a final ``(timestamp, ctx_id)`` sort.
+
+Channel kinds:
+
+* ``state`` -- categorical values from the channel's ``states``
+  universe; a corrupted sample reports a uniformly chosen *different*
+  state (the paper's room-swap / reader-swap error model).
+* ``numeric`` -- the phase's level plus benign uniform jitter
+  (``jitter``); a corrupted sample is additionally displaced by a
+  magnitude drawn from ``corrupt_shift`` with random sign (the
+  location-displacement error model, scalar-valued).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..core.context import Context, ContextFactory
+from .predicates import freeze_params
+
+__all__ = ["CHANNEL_KINDS", "ChannelSpec", "PhaseSpec", "WorkloadSpec"]
+
+CHANNEL_KINDS = ("state", "numeric")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One sensing channel: a context type sampled at a fixed period."""
+
+    name: str
+    kind: str = "state"
+    period: float = 2.0
+    #: Phase shift of the first sample (staggers channels off each other).
+    offset: float = 0.0
+    lifespan: float = 60.0
+    #: Whether the error model applies; authoritative feeds (a calendar
+    #: service, a badge master list) are modelled as incorruptible.
+    corruptible: bool = True
+    #: ``state`` channels: the value universe corruption draws from.
+    states: Tuple[str, ...] = ()
+    #: ``numeric`` channels: benign uniform noise half-width ...
+    jitter: float = 0.0
+    #: ... and the magnitude range of a corrupted displacement.
+    corrupt_shift: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHANNEL_KINDS:
+            raise ValueError(
+                f"channel {self.name!r} has unknown kind {self.kind!r}"
+            )
+        if self.period <= 0:
+            raise ValueError(f"channel {self.name!r} period must be > 0")
+        if self.offset < 0:
+            raise ValueError(f"channel {self.name!r} offset must be >= 0")
+        if self.lifespan <= 0:
+            raise ValueError(f"channel {self.name!r} lifespan must be > 0")
+        object.__setattr__(
+            self, "states", tuple(str(s) for s in self.states)
+        )
+        shift = tuple(float(v) for v in self.corrupt_shift)
+        if len(shift) != 2 or shift[0] > shift[1] or shift[0] < 0:
+            raise ValueError(
+                f"channel {self.name!r} corrupt_shift must be "
+                f"(low, high) with 0 <= low <= high, got {shift!r}"
+            )
+        object.__setattr__(self, "corrupt_shift", shift)
+        if self.kind == "state" and self.corruptible and len(self.states) < 2:
+            raise ValueError(
+                f"corruptible state channel {self.name!r} needs >= 2 states "
+                f"to draw corrupted values from"
+            )
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One ground-truth behaviour window of the phase script.
+
+    ``values`` maps channel name -> the channel's true value during the
+    phase (a state name or a numeric level); a channel absent from the
+    mapping is silent for the phase.  Each subject spends a uniformly
+    drawn ``[min_duration, max_duration]`` seconds in the phase.
+    """
+
+    name: str
+    min_duration: float
+    max_duration: float
+    values: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_duration <= self.max_duration:
+            raise ValueError(
+                f"phase {self.name!r} needs 0 < min_duration <= "
+                f"max_duration, got [{self.min_duration}, {self.max_duration}]"
+            )
+        object.__setattr__(self, "values", freeze_params(self.values))
+
+    def value_for(self, channel: str) -> Optional[Any]:
+        for name, value in self.values:
+            if name == channel:
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The full declarative workload: subjects x channels x phases."""
+
+    subjects: Tuple[str, ...]
+    channels: Tuple[ChannelSpec, ...]
+    phases: Tuple[PhaseSpec, ...]
+    id_prefix: str = "pk"
+    #: Seconds between consecutive subjects' phase-script starts, so
+    #: subject streams interleave instead of moving in lockstep.
+    subject_stagger: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.subjects:
+            raise ValueError("workload needs at least one subject")
+        if not self.channels:
+            raise ValueError("workload needs at least one channel")
+        if not self.phases:
+            raise ValueError("workload needs at least one phase")
+        if self.subject_stagger < 0:
+            raise ValueError("subject_stagger must be >= 0")
+        names = [c.name for c in self.channels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate channel names: {names}")
+        known = set(names)
+        for phase in self.phases:
+            unknown = [k for k, _ in phase.values if k not in known]
+            if unknown:
+                raise ValueError(
+                    f"phase {phase.name!r} references unknown "
+                    f"channels {unknown}"
+                )
+
+    def generate(
+        self,
+        err_rate: float,
+        seed: int,
+        *,
+        duration_scale: float = 1.0,
+    ) -> List[Context]:
+        """One experiment group's context stream.
+
+        ``duration_scale`` uniformly stretches/shrinks every phase
+        duration -- benchmarks and smoke tests pass ``< 1`` to keep
+        streams small without changing the script's shape.
+        """
+        if not 0.0 <= err_rate < 1.0:
+            raise ValueError(f"err_rate must be in [0, 1), got {err_rate}")
+        if duration_scale <= 0:
+            raise ValueError("duration_scale must be > 0")
+        master = random.Random(seed)
+        factory = ContextFactory(prefix=f"{self.id_prefix}{seed}")
+        contexts: List[Context] = []
+        for index, subject in enumerate(self.subjects):
+            rng = random.Random(master.randrange(2**31))
+            start = index * self.subject_stagger
+            windows: List[Tuple[PhaseSpec, float, float]] = []
+            t = start
+            for phase in self.phases:
+                span = (
+                    rng.uniform(phase.min_duration, phase.max_duration)
+                    * duration_scale
+                )
+                windows.append((phase, t, t + span))
+                t += span
+            end = t
+            for channel in self.channels:
+                cursor = 0
+                tick = start + channel.offset
+                while tick < end - 1e-9:
+                    while cursor + 1 < len(windows) and tick >= windows[cursor][2]:
+                        cursor += 1
+                    phase = windows[cursor][0]
+                    truth = phase.value_for(channel.name)
+                    if truth is not None:
+                        corrupted = bool(
+                            channel.corruptible
+                            and err_rate > 0
+                            and rng.random() < err_rate
+                        )
+                        contexts.append(
+                            factory.make(
+                                channel.name,
+                                subject,
+                                _emit(channel, truth, corrupted, rng),
+                                round(tick, 6),
+                                lifespan=channel.lifespan,
+                                source=f"{channel.name}:{subject}",
+                                corrupted=corrupted,
+                                attributes={"phase": phase.name},
+                            )
+                        )
+                    tick += channel.period
+        contexts.sort(key=lambda c: (c.timestamp, c.ctx_id))
+        return contexts
+
+
+def _emit(
+    channel: ChannelSpec, truth: Any, corrupted: bool, rng: random.Random
+) -> Any:
+    if channel.kind == "state":
+        state = str(truth)
+        if not corrupted:
+            return state
+        others = [s for s in channel.states if s != state]
+        return rng.choice(others) if others else state
+    value = float(truth)
+    if channel.jitter > 0:
+        value += rng.uniform(-channel.jitter, channel.jitter)
+    if corrupted:
+        low, high = channel.corrupt_shift
+        shift = rng.uniform(low, high)
+        if rng.random() < 0.5:
+            shift = -shift
+        value += shift
+    return round(value, 4)

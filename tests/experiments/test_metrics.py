@@ -1,10 +1,20 @@
 """Unit tests for the experiment metrics."""
 
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.experiments.metrics import (
     GroupMetrics,
+    InconsistencyMeasures,
     average_metrics,
+    measure_inconsistencies,
+    measure_stream,
+    minimum_repair_size,
     normalized_rate,
 )
 
@@ -79,3 +89,170 @@ class TestNormalizedRate:
     def test_zero_baseline(self):
         assert normalized_rate(0.0, 0.0) == 100.0
         assert normalized_rate(5.0, 0.0) == 0.0
+
+
+# -- Livshits-style inconsistency measures ------------------------------------
+
+
+def brute_force_hitting_set(sets):
+    """Smallest hitting set by exhaustive search (tiny instances only)."""
+    sets = [frozenset(s) for s in sets if s]
+    if not sets:
+        return 0
+    universe = sorted(set().union(*sets))
+    for size in range(1, len(universe) + 1):
+        for combo in itertools.combinations(universe, size):
+            chosen = set(combo)
+            if all(chosen & s for s in sets):
+                return size
+    return len(universe)
+
+
+class TestMinimumRepairSize:
+    def test_empty_is_zero(self):
+        assert minimum_repair_size([]) == 0
+        assert minimum_repair_size([set(), frozenset()]) == 0
+
+    def test_disjoint_sets_need_one_deletion_each(self):
+        sets = [{"a", "b"}, {"c"}, {"d", "e", "f"}]
+        assert minimum_repair_size(sets) == 3
+
+    def test_shared_element_hits_everything(self):
+        sets = [{"x", "a"}, {"x", "b"}, {"x", "c"}]
+        assert minimum_repair_size(sets) == 1
+
+    def test_duplicate_sets_collapse(self):
+        assert minimum_repair_size([{"a", "b"}, {"b", "a"}]) == 1
+
+    def test_greedy_is_an_upper_bound(self):
+        # The classic greedy trap: greedy picks the max-degree element
+        # first, but here the exact optimum still matches because the
+        # instance is below the exact limit.
+        sets = [{"a", "b"}, {"b", "c"}, {"c", "d"}]
+        assert minimum_repair_size(sets) == 2
+
+    def test_exact_limit_zero_forces_greedy(self):
+        # Greedy on a chain picks a shared element first; the answer is
+        # still a valid (possibly larger) hitting-set size.
+        sets = [{"a", "b"}, {"b", "c"}, {"c", "d"}]
+        greedy = minimum_repair_size(sets, exact_limit=0)
+        assert greedy >= minimum_repair_size(sets)
+        assert greedy <= len(sets)  # one pick per set at worst
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sets=st.lists(
+            st.frozensets(
+                st.sampled_from("abcdef"), min_size=1, max_size=3
+            ),
+            max_size=5,
+        )
+    )
+    def test_exact_matches_brute_force(self, sets):
+        assert minimum_repair_size(sets) == brute_force_hitting_set(sets)
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    ctx_id: str
+    timestamp: float = 0.0
+    corrupted: bool = False
+
+
+@dataclass(frozen=True)
+class _Violation:
+    constraint: str
+    contexts: FrozenSet[_Ctx]
+
+
+def violation(constraint, *ids):
+    return _Violation(constraint, frozenset(_Ctx(i) for i in ids))
+
+
+class TestMeasureInconsistencies:
+    def test_clean_set_is_all_zero(self):
+        m = measure_inconsistencies([], universe=10)
+        assert m.drastic == 0
+        assert m.mi_count == 0
+        assert m.problematic == 0
+        assert m.repair == 0
+        assert m.problematic_ratio == 0.0
+        assert m.per_constraint == {}
+
+    def test_counts_and_ratios(self):
+        violations = [
+            violation("c1", "a", "b"),
+            violation("c1", "b", "c"),
+            violation("c2", "d"),
+        ]
+        m = measure_inconsistencies(violations, universe=8)
+        assert m.drastic == 1
+        assert m.mi_count == 3
+        assert m.problematic == 4  # a, b, c, d
+        assert m.repair == 2  # delete b and d
+        assert m.per_constraint == {"c1": 2, "c2": 1}
+        assert m.problematic_ratio == pytest.approx(0.5)
+        assert m.repair_ratio == pytest.approx(0.25)
+
+    def test_identical_bindings_deduplicate(self):
+        """The same (constraint, context-set) binding reported twice is
+        ONE minimal inconsistent subset."""
+        twice = [violation("c1", "a", "b"), violation("c1", "b", "a")]
+        m = measure_inconsistencies(twice, universe=4)
+        assert m.mi_count == 1
+        assert m.per_constraint == {"c1": 1}
+
+    def test_same_contexts_different_constraints_stay_distinct(self):
+        m = measure_inconsistencies(
+            [violation("c1", "a", "b"), violation("c2", "a", "b")],
+            universe=4,
+        )
+        assert m.mi_count == 2
+        assert m.problematic == 2
+        assert m.repair == 1
+
+    def test_zero_universe_has_zero_ratios(self):
+        m = measure_inconsistencies([], universe=0)
+        assert m.problematic_ratio == 0.0
+        assert m.repair_ratio == 0.0
+
+    def test_as_record_is_json_shaped(self):
+        import json
+
+        record = measure_inconsistencies(
+            [violation("c1", "a")], universe=2
+        ).as_record()
+        json.dumps(record)
+        assert record["mi_count"] == 1
+        assert record["per_constraint"] == {"c1": 1}
+
+
+class _StubChecker:
+    """check_all that reports one violation over the two newest contexts."""
+
+    def __init__(self):
+        self.calls = []
+
+    def check_all(self, contexts, now=None):
+        self.calls.append((list(contexts), now))
+        if len(contexts) < 2:
+            return []
+        newest = sorted(contexts, key=lambda c: c.timestamp)[-2:]
+        return [_Violation("stub", frozenset(newest))]
+
+
+class TestMeasureStream:
+    def test_checks_at_the_last_timestamp(self):
+        checker = _StubChecker()
+        contexts = [_Ctx("a", 1.0), _Ctx("b", 5.0), _Ctx("c", 3.0)]
+        m = measure_stream(checker, contexts)
+        assert checker.calls[0][1] == 5.0  # now = max timestamp
+        assert m.universe == 3
+        assert m.mi_count == 1
+        assert m.problematic == 2
+
+    def test_empty_stream(self):
+        m = measure_stream(_StubChecker(), [])
+        assert m == InconsistencyMeasures(
+            universe=0, drastic=0, mi_count=0, problematic=0, repair=0
+        )

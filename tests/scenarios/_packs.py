@@ -1,0 +1,107 @@
+"""Shared tiny declarative packs for the scenario test suite.
+
+Small on purpose: a two-channel workload short enough that a full
+middleware run takes milliseconds, yet corrupted contexts reliably
+violate at least one constraint (the door sensor reports a room off
+the two-room floor plan, or the meter jumps out of band).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import (
+    ChannelSpec,
+    ConstraintSpec,
+    MetricsEnvelope,
+    PhaseSpec,
+    PredicateSpec,
+    ScenarioPack,
+    SituationSpec,
+    WorkloadSpec,
+)
+
+
+def tiny_workload() -> WorkloadSpec:
+    return WorkloadSpec(
+        subjects=("unit-a",),
+        channels=(
+            ChannelSpec(
+                name="door",
+                kind="state",
+                period=2.0,
+                states=("open", "closed"),
+            ),
+            ChannelSpec(
+                name="meter",
+                kind="numeric",
+                period=2.0,
+                offset=0.5,
+                jitter=0.1,
+                corrupt_shift=(5.0, 9.0),
+            ),
+        ),
+        phases=(
+            PhaseSpec(
+                name="idle",
+                min_duration=10.0,
+                max_duration=16.0,
+                values=(("door", "closed"), ("meter", 1.0)),
+            ),
+            PhaseSpec(
+                name="busy",
+                min_duration=10.0,
+                max_duration=16.0,
+                values=(("door", "open"), ("meter", 2.0)),
+            ),
+        ),
+        id_prefix="tp",
+    )
+
+
+def tiny_pack(**overrides) -> ScenarioPack:
+    fields = dict(
+        name="tiny",
+        title="Tiny Test Pack",
+        description="Two channels, two phases, one subject.",
+        predicates=(
+            PredicateSpec(
+                name="meter_in_band",
+                kind="numeric_range",
+                params={"low": 0.0, "high": 4.0},
+            ),
+            PredicateSpec(
+                name="meter_step_ok",
+                kind="step_le",
+                params={"limit": 2.5},
+            ),
+        ),
+        constraint_specs=(
+            ConstraintSpec(
+                name="tiny-meter-band",
+                formula="forall m in meter : meter_in_band(m)",
+            ),
+            ConstraintSpec(
+                name="tiny-meter-step",
+                formula=(
+                    "forall m1 in meter, forall m2 in meter : "
+                    "(same_subject(m1, m2) and before(m1, m2) and "
+                    "within_time(m1, m2, 4.5)) implies meter_step_ok(m1, m2)"
+                ),
+            ),
+        ),
+        situation_specs=(
+            SituationSpec(
+                name="tiny-door-open",
+                kind="value_is",
+                params={"ctx_type": "door", "value": "open"},
+            ),
+        ),
+        workload=tiny_workload(),
+        use_window=6,
+        default_seed=3,
+        err_rates=(0.2, 0.3),
+        envelope=MetricsEnvelope(
+            min_contexts=10, min_raw_mi=1, reference_err_rate=0.3
+        ),
+    )
+    fields.update(overrides)
+    return ScenarioPack(**fields)

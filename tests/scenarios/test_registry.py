@@ -1,0 +1,97 @@
+"""The pack registry: builtins, registration semantics, file loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    dumps_json,
+    dumps_toml,
+    get_pack,
+    load_pack_file,
+    pack_names,
+    register_pack,
+    unregister_pack,
+)
+
+from ._packs import tiny_pack
+
+BUILTINS = (
+    "calendar-presence",
+    "call-forwarding",
+    "health-telemetry",
+    "rfid",
+    "smart-home",
+    "smart-phone",
+)
+
+
+class TestBuiltins:
+    def test_all_builtins_registered(self):
+        names = pack_names()
+        for name in BUILTINS:
+            assert name in names
+
+    def test_legacy_packs_are_app_backed(self):
+        for name in ("call-forwarding", "rfid", "smart-phone"):
+            assert not get_pack(name).portable
+
+    def test_new_packs_are_portable(self):
+        for name in ("smart-home", "calendar-presence", "health-telemetry"):
+            assert get_pack(name).portable
+
+    def test_unknown_pack_lists_known(self):
+        with pytest.raises(KeyError, match="registered:"):
+            get_pack("no-such-pack")
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        pack = tiny_pack(name="tiny-reg-test")
+        try:
+            register_pack(pack)
+            assert get_pack("tiny-reg-test") is pack
+            with pytest.raises(ValueError, match="already registered"):
+                register_pack(pack)
+            register_pack(pack, replace=True)
+        finally:
+            unregister_pack("tiny-reg-test")
+        assert "tiny-reg-test" not in pack_names()
+
+
+class TestLoadPackFile:
+    def test_toml_file(self, tmp_path):
+        pack = tiny_pack()
+        path = tmp_path / "tiny.toml"
+        path.write_text(dumps_toml(pack), encoding="utf-8")
+        assert load_pack_file(path) == pack
+
+    def test_json_file(self, tmp_path):
+        pack = tiny_pack()
+        path = tmp_path / "tiny.json"
+        path.write_text(dumps_json(pack), encoding="utf-8")
+        assert load_pack_file(path) == pack
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "tiny.yaml"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ValueError, match=".toml or .json"):
+            load_pack_file(path)
+
+
+class TestAppShims:
+    def test_as_pack_matches_registered(self):
+        from repro.apps import (
+            CallForwardingApp,
+            RFIDAnomaliesApp,
+            SmartPhoneApp,
+        )
+
+        for app, name in (
+            (CallForwardingApp(), "call-forwarding"),
+            (RFIDAnomaliesApp(), "rfid"),
+            (SmartPhoneApp(), "smart-phone"),
+        ):
+            pack = app.as_pack()
+            assert pack.name == name
+            assert pack.use_window == get_pack(name).use_window

@@ -1,0 +1,241 @@
+"""Serialization round-trips for portable packs.
+
+The serializer promises exact equality through both syntaxes:
+``pack == loads_toml(dumps_toml(pack)) == loads_json(dumps_json(pack))``.
+Deterministic cases pin the shipped packs; a hypothesis property
+generates packs with adversarial strings and floats and asserts the
+same equality.
+"""
+
+from __future__ import annotations
+
+import tomllib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    ChannelSpec,
+    ConstraintSpec,
+    MetricsEnvelope,
+    PhaseSpec,
+    PredicateSpec,
+    ScenarioPack,
+    SituationSpec,
+    WorkloadSpec,
+    dumps_json,
+    dumps_toml,
+    get_pack,
+    loads_json,
+    loads_toml,
+    pack_from_document,
+    pack_names,
+    pack_to_document,
+)
+
+from ._packs import tiny_pack
+
+DECLARATIVE = [
+    name for name in pack_names() if get_pack(name).portable
+]
+
+
+class TestShippedPackRoundTrips:
+    def test_declarative_packs_exist(self):
+        assert len(DECLARATIVE) >= 3
+
+    @pytest.mark.parametrize("name", DECLARATIVE)
+    def test_toml_round_trip(self, name):
+        pack = get_pack(name)
+        assert loads_toml(dumps_toml(pack)) == pack
+
+    @pytest.mark.parametrize("name", DECLARATIVE)
+    def test_json_round_trip(self, name):
+        pack = get_pack(name)
+        assert loads_json(dumps_json(pack)) == pack
+
+    @pytest.mark.parametrize("name", DECLARATIVE)
+    def test_document_round_trip(self, name):
+        pack = get_pack(name)
+        assert pack_from_document(pack_to_document(pack)) == pack
+
+
+class TestSerializeErrors:
+    def test_non_portable_pack_rejected(self):
+        pack = get_pack("call-forwarding")
+        with pytest.raises(ValueError):
+            pack_to_document(pack)
+
+    def test_unsupported_schema_rejected(self):
+        doc = pack_to_document(tiny_pack())
+        doc["schema"] = 99
+        with pytest.raises(ValueError):
+            pack_from_document(doc)
+
+    def test_missing_workload_rejected(self):
+        doc = pack_to_document(tiny_pack())
+        del doc["workload"]
+        with pytest.raises(ValueError):
+            pack_from_document(doc)
+
+    def test_emitted_toml_is_parseable(self):
+        tomllib.loads(dumps_toml(tiny_pack()))
+
+
+# -- hypothesis property ------------------------------------------------------
+
+_IDENT = st.from_regex(r"[a-z][a-z0-9_-]{0,8}", fullmatch=True)
+_NAME = st.from_regex(r"[a-z0-9][a-z0-9-]{0,15}", fullmatch=True)
+_TEXT = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=40
+)
+_FLOAT = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+_POS = st.floats(min_value=0.1, max_value=100.0)
+
+
+@st.composite
+def _channels(draw):
+    names = draw(
+        st.lists(_IDENT, min_size=1, max_size=3, unique=True)
+    )
+    channels = []
+    for name in names:
+        kind = draw(st.sampled_from(("state", "numeric")))
+        states = (
+            tuple(
+                draw(
+                    st.lists(_IDENT, min_size=2, max_size=4, unique=True)
+                )
+            )
+            if kind == "state"
+            else ()
+        )
+        low = draw(st.floats(min_value=0.0, max_value=5.0))
+        channels.append(
+            ChannelSpec(
+                name=name,
+                kind=kind,
+                period=draw(_POS),
+                offset=draw(st.floats(min_value=0.0, max_value=10.0)),
+                lifespan=draw(_POS),
+                corruptible=draw(st.booleans()),
+                states=states,
+                jitter=draw(st.floats(min_value=0.0, max_value=1.0)),
+                corrupt_shift=(
+                    low,
+                    low + draw(st.floats(min_value=0.0, max_value=5.0)),
+                ),
+            )
+        )
+    return tuple(channels)
+
+
+@st.composite
+def _packs(draw):
+    channels = draw(_channels())
+    phases = []
+    for index in range(draw(st.integers(min_value=1, max_value=3))):
+        lo = draw(_POS)
+        values = {}
+        for channel in channels:
+            if draw(st.booleans()):
+                continue  # channel silent in this phase
+            values[channel.name] = (
+                draw(st.sampled_from(channel.states))
+                if channel.kind == "state"
+                else draw(_FLOAT)
+            )
+        phases.append(
+            PhaseSpec(
+                name=f"phase-{index}",
+                min_duration=lo,
+                max_duration=lo + draw(st.floats(min_value=0.0, max_value=20.0)),
+                values=values,
+            )
+        )
+    workload = WorkloadSpec(
+        subjects=tuple(
+            draw(st.lists(_IDENT, min_size=1, max_size=2, unique=True))
+        ),
+        channels=channels,
+        phases=tuple(phases),
+        id_prefix=draw(_IDENT),
+        subject_stagger=draw(st.floats(min_value=0.0, max_value=10.0)),
+    )
+    predicates = (
+        PredicateSpec(
+            name="band",
+            kind="numeric_range",
+            params={"low": draw(_FLOAT), "high": draw(_FLOAT)},
+        ),
+        PredicateSpec(
+            name="known",
+            kind="value_known",
+            params={"values": draw(st.lists(_TEXT, max_size=3))},
+        ),
+    )
+    return ScenarioPack(
+        name=draw(_NAME),
+        title=draw(_TEXT),
+        description=draw(_TEXT),
+        predicates=predicates,
+        constraint_specs=(
+            ConstraintSpec(
+                name="c0",
+                formula=f"forall x in {channels[0].name} : band(x)",
+                description=draw(_TEXT),
+            ),
+        ),
+        situation_specs=(
+            SituationSpec(
+                name="s0",
+                kind="value_is",
+                params={"ctx_type": channels[0].name, "value": draw(_TEXT)},
+            ),
+        ),
+        workload=workload,
+        strategies=tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(("opt-r", "drop-bad", "drop-random")),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        ),
+        err_rates=tuple(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.05, max_value=0.95),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+        ),
+        use_window=draw(st.integers(min_value=0, max_value=30)),
+        default_seed=draw(st.integers(min_value=0, max_value=2**31)),
+        envelope=MetricsEnvelope(
+            min_contexts=draw(st.integers(min_value=0, max_value=100)),
+            max_contexts=draw(
+                st.one_of(
+                    st.none(), st.integers(min_value=100, max_value=10_000)
+                )
+            ),
+            min_raw_mi=draw(st.integers(min_value=0, max_value=10)),
+            max_residual_ratio=draw(st.floats(min_value=0.0, max_value=1.0)),
+            reference_err_rate=draw(st.floats(min_value=0.05, max_value=0.95)),
+        ),
+        workload_kwargs={"duration_scale": draw(_POS)},
+    )
+
+
+class TestPropertyRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(pack=_packs())
+    def test_toml_and_json_round_trip(self, pack):
+        assert loads_toml(dumps_toml(pack)) == pack
+        assert loads_json(dumps_json(pack)) == pack
